@@ -1,0 +1,458 @@
+// Benchmarks regenerating every table and figure of the FlexLevel paper
+// (one per experiment, per DESIGN.md §4), plus the ablation studies of
+// DESIGN.md §5 and micro-benchmarks of the hot paths. The figure benches
+// report their headline numbers as custom metrics (e.g. %reduction), so
+// `go test -bench=.` both exercises and reproduces the evaluation.
+package flexlevel_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"flexlevel/internal/baseline"
+	"flexlevel/internal/bch"
+	"flexlevel/internal/core"
+	"flexlevel/internal/exp"
+	"flexlevel/internal/ftl"
+	"flexlevel/internal/ldpc"
+	"flexlevel/internal/noise"
+	"flexlevel/internal/nunma"
+	"flexlevel/internal/reducecode"
+	"flexlevel/internal/sensing"
+	"flexlevel/internal/ssd"
+	"flexlevel/internal/trace"
+)
+
+// benchSim keeps full-system benches to a few seconds per iteration.
+func benchSim() exp.SimConfig {
+	return exp.SimConfig{Requests: 8000, Seed: 1, PE: 6000}
+}
+
+// BenchmarkFig5C2CBER regenerates Fig. 5: interference BER of the
+// baseline MLC cell vs the three NUNMA reduced-state configurations.
+func BenchmarkFig5C2CBER(b *testing.B) {
+	var rows []exp.Fig5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) == 4 && rows[1].C2CBER > 0 {
+		b.ReportMetric(rows[0].C2CBER/rows[1].C2CBER, "baseline/NUNMA1-x")
+	}
+}
+
+// BenchmarkTable4RetentionBER regenerates Table 4: the retention BER
+// grid over P/E cycles and storage time for all four schemes.
+func BenchmarkTable4RetentionBER(b *testing.B) {
+	var cells []exp.Table4Cell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = exp.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	red := exp.Table4Reductions(cells)
+	b.ReportMetric(red["NUNMA 1"], "NUNMA1-reduction-x")
+	b.ReportMetric(red["NUNMA 2"], "NUNMA2-reduction-x")
+	b.ReportMetric(red["NUNMA 3"], "NUNMA3-reduction-x")
+}
+
+// BenchmarkTable5SensingLevels regenerates Table 5: required extra LDPC
+// soft sensing levels of the baseline MLC across the wear/retention grid.
+func BenchmarkTable5SensingLevels(b *testing.B) {
+	rule := sensing.DefaultRule()
+	var rows []exp.Table5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.Table5(rule)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.Levels[4]), "levels@6000/1mo")
+}
+
+// BenchmarkFig6aResponseTime regenerates Fig. 6(a): the seven workloads
+// under all four systems, reporting the paper's two headline reductions.
+func BenchmarkFig6aResponseTime(b *testing.B) {
+	var data *exp.Fig6aData
+	for i := 0; i < b.N; i++ {
+		var err error
+		data, err = exp.Fig6a(benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*data.MeanReduction(core.FlexLevel, core.Baseline), "%red-vs-baseline")
+	b.ReportMetric(100*data.MeanReduction(core.FlexLevel, core.LDPCInSSD), "%red-vs-ldpcinssd")
+}
+
+// BenchmarkFig6bPECycleSweep regenerates Fig. 6(b): the reduction vs
+// LDPC-in-SSD as P/E grows from 4000 to 6000.
+func BenchmarkFig6bPECycleSweep(b *testing.B) {
+	var pts []exp.Fig6bPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = exp.Fig6b(benchSim(), []int{4000, 6000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*pts[0].Reduction, "%red@4000")
+	b.ReportMetric(100*pts[len(pts)-1].Reduction, "%red@6000")
+}
+
+// BenchmarkFig7Endurance regenerates Fig. 7: write count, erase count
+// and lifetime of FlexLevel vs LDPC-in-SSD at P/E 6000.
+func BenchmarkFig7Endurance(b *testing.B) {
+	var rows []exp.Fig7Row
+	for i := 0; i < b.N; i++ {
+		data, err := exp.Fig6a(benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = exp.Fig7(data)
+	}
+	var wi, lt float64
+	for _, r := range rows {
+		wi += r.WriteIncrease
+		lt += r.Lifetime
+	}
+	n := float64(len(rows))
+	b.ReportMetric(100*wi/n, "%write-increase")
+	b.ReportMetric(100*(1-lt/n), "%lifetime-loss")
+}
+
+// BenchmarkAblationEncoding compares ReduceCode vs naive Gray on 3
+// levels (DESIGN.md §5).
+func BenchmarkAblationEncoding(b *testing.B) {
+	var rows []exp.AblationEncoding
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.EncodingAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*rows[0].CapacityLoss, "%loss-reducecode")
+	b.ReportMetric(100*rows[1].CapacityLoss, "%loss-gray3")
+}
+
+// BenchmarkAblationMargins compares NUNMA 3 vs uniform margins.
+func BenchmarkAblationMargins(b *testing.B) {
+	var rows []exp.AblationMargin
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.MarginAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rows[1].RetentionBER > 0 {
+		b.ReportMetric(rows[0].RetentionBER/rows[1].RetentionBER, "uniform/NUNMA3-x")
+	}
+}
+
+// BenchmarkAblationHLORule compares the paper's Lf x Lsensing HLO rule
+// against frequency-only identification.
+func BenchmarkAblationHLORule(b *testing.B) {
+	var rows []exp.AblationHLO
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.HLOAblation(benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Migrations), "migrations-paper-rule")
+	b.ReportMetric(float64(rows[1].Migrations), "migrations-freq-only")
+}
+
+// BenchmarkAblationRefTuning compares optimally retuned read references
+// against LevelAdjust at the paper's worst corner.
+func BenchmarkAblationRefTuning(b *testing.B) {
+	var rows []exp.RefTuneRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.RefTuneAblation(6000, 720)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[1].Levels), "levels-after-tuning")
+	b.ReportMetric(float64(rows[2].Levels), "levels-leveladjust")
+}
+
+// BenchmarkAblationPoolSweep sweeps the ReducedCell pool capacity.
+func BenchmarkAblationPoolSweep(b *testing.B) {
+	var rows []exp.AblationPool
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.PoolSweep(benchSim(), []float64{0.001, 0.25})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Norm, "norm@0.1%pool")
+	b.ReportMetric(rows[len(rows)-1].Norm, "norm@25%pool")
+}
+
+// ------------------------------------------------------ micro-benchmarks
+
+// BenchmarkLDPCSoftDecode measures the min-sum decoder on the test-size
+// rate-8/9 code with a realistic error load.
+func BenchmarkLDPCSoftDecode(b *testing.B) {
+	code, err := ldpc.New(ldpc.TestParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := ldpc.NewDecoder(code)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, code.K)
+	for i := range data {
+		data[i] = byte(rng.Intn(2))
+	}
+	cw, err := code.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	noisy := make([]byte, len(cw))
+	copy(noisy, cw)
+	for i := 0; i < 5; i++ {
+		noisy[rng.Intn(code.N)] ^= 1
+	}
+	llr := ldpc.HardToLLR(noisy, ldpc.BSCLLR(0.004))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := d.Decode(llr)
+		if err != nil || !res.OK {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+// BenchmarkLDPCHardDecode measures the bit-flipping decoder (the
+// min-sum vs bit-flipping ablation's other arm).
+func BenchmarkLDPCHardDecode(b *testing.B) {
+	code, err := ldpc.New(ldpc.TestParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := ldpc.NewHardDecoder(code)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, code.K)
+	for i := range data {
+		data[i] = byte(rng.Intn(2))
+	}
+	cw, err := code.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	noisy := make([]byte, len(cw))
+	copy(noisy, cw)
+	noisy[rng.Intn(code.N)] ^= 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Decode(noisy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLDPCQCDecode measures min-sum on the quasi-cyclic
+// construction (the IRA-vs-QC structure ablation's other arm).
+func BenchmarkLDPCQCDecode(b *testing.B) {
+	code, err := ldpc.NewQC(ldpc.QCParams{J: 4, L: 36, Z: 37, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := ldpc.NewDecoder(code)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, code.K)
+	for i := range data {
+		data[i] = byte(rng.Intn(2))
+	}
+	cw, err := code.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	noisy := make([]byte, len(cw))
+	copy(noisy, cw)
+	for i := 0; i < 5; i++ {
+		noisy[rng.Intn(code.N)] ^= 1
+	}
+	llr := ldpc.HardToLLR(noisy, ldpc.BSCLLR(0.004))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := d.Decode(llr)
+		if err != nil || !res.OK {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+// BenchmarkBCHDecode measures the hard-decision BCH comparator at a
+// flash-like operating point (255,191) t=8 with 4 errors.
+func BenchmarkBCHDecode(b *testing.B) {
+	code, err := bch.New(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, code.K)
+	for i := range data {
+		data[i] = byte(rng.Intn(2))
+	}
+	cw, err := code.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	noisy := make([]byte, len(cw))
+	copy(noisy, cw)
+	for _, p := range rng.Perm(code.N)[:4] {
+		noisy[p] ^= 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := code.Decode(noisy)
+		if err != nil || !res.OK {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+// BenchmarkHardECCStudy regenerates the §1 motivation table (BCH vs
+// soft LDPC tolerable BER at equal parity).
+func BenchmarkHardECCStudy(b *testing.B) {
+	var rows []exp.HardECCRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.HardECCStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].MaxBER*1e3, "bch-maxBER-x1e-3")
+	b.ReportMetric(rows[2].MaxBER*1e3, "ldpc6-maxBER-x1e-3")
+}
+
+// BenchmarkLDPCEncode measures the linear-time accumulator encoder.
+func BenchmarkLDPCEncode(b *testing.B) {
+	code, err := ldpc.New(ldpc.TestParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, code.K)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReduceCodePack measures the 3-bit pair packing of a 4KB page.
+func BenchmarkReduceCodePack(b *testing.B) {
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(data)
+	nbits := reducecode.PadBits(len(data) * 8)
+	padded := make([]byte, (nbits+7)/8)
+	copy(padded, data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reducecode.PackBits(padded, nbits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBERModelTotal measures one closed-form BER evaluation.
+func BenchmarkBERModelTotal(b *testing.B) {
+	m, err := noise.NewBERModel(nunma.BaselineMLC(), noise.MLCGray())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.TotalBER(5000, 168)
+	}
+}
+
+// BenchmarkRequiredLevels measures the UBER rule (Eq. 1 bisection).
+func BenchmarkRequiredLevels(b *testing.B) {
+	rule := sensing.DefaultRule()
+	for i := 0; i < b.N; i++ {
+		if _, ok := rule.RequiredLevels(6e-3); !ok {
+			b.Fatal("unexpected failure")
+		}
+	}
+}
+
+// BenchmarkFTLWrite measures the mapping layer under GC pressure.
+func BenchmarkFTLWrite(b *testing.B) {
+	cfg := ftl.Config{
+		LogicalPages:  4096,
+		PagesPerBlock: 64,
+		Blocks:        88,
+		ReducedFactor: 0.75,
+		GCThreshold:   3,
+		GCTarget:      4,
+	}
+	f, err := ftl.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := f.Write(uint64(rng.Intn(4096)), ftl.NormalState); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSDRead measures one simulated read end to end.
+func BenchmarkSSDRead(b *testing.B) {
+	cfg := ssd.DefaultConfig()
+	cfg.FTL = ftl.Config{
+		LogicalPages:  4096,
+		PagesPerBlock: 64,
+		Blocks:        88,
+		ReducedFactor: 0.75,
+		GCThreshold:   3,
+		GCTarget:      4,
+	}
+	d, err := ssd.New(cfg,
+		func(state ftl.BlockState, pe int, ageHours float64) float64 { return 5e-3 },
+		baseline.NewLDPCInSSD())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Preload(4096); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Read(time.Duration(i)*time.Millisecond, uint64(i%4096))
+	}
+}
+
+// BenchmarkTraceGenerate measures the synthetic workload generator.
+func BenchmarkTraceGenerate(b *testing.B) {
+	w, err := trace.ByName("fin-2", 10000, 65536, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command ecctool sweeps the error-correction substrates over a binary
+// symmetric channel: the IRA and quasi-cyclic LDPC constructions under
+// both min-sum schedules, and the BCH comparator, reporting frame error
+// rates with Wilson 95% confidence intervals.
+//
+//	ecctool -frames 100 -bers 0.002,0.004,0.008
+//	ecctool -construction qc -frames 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"flexlevel/internal/bch"
+	"flexlevel/internal/ldpc"
+	"flexlevel/internal/stats"
+)
+
+func main() {
+	frames := flag.Int("frames", 50, "codewords per point")
+	bersFlag := flag.String("bers", "0.002,0.004,0.006,0.010", "comma-separated channel BERs")
+	construction := flag.String("construction", "ira", "ldpc construction: ira or qc")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	withBCH := flag.Bool("bch", true, "include the BCH(255,191) t=8 comparator")
+	flag.Parse()
+
+	var bers []float64
+	for _, s := range strings.Split(*bersFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v <= 0 || v >= 0.5 {
+			fmt.Fprintf(os.Stderr, "ecctool: bad BER %q\n", s)
+			os.Exit(1)
+		}
+		bers = append(bers, v)
+	}
+
+	var code *ldpc.Code
+	var err error
+	switch *construction {
+	case "ira":
+		code, err = ldpc.New(ldpc.TestParams())
+	case "qc":
+		code, err = ldpc.NewQC(ldpc.QCParams{J: 4, L: 36, Z: 37, Seed: 5})
+	default:
+		fmt.Fprintf(os.Stderr, "ecctool: unknown construction %q\n", *construction)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecctool:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("LDPC (%s): n=%d k=%d rate=%.3f, %d frames per point\n",
+		*construction, code.N, code.K, code.Rate(), *frames)
+	fmt.Printf("%-8s %26s %26s\n", "BER", "flooding FER [95% CI]", "layered FER [95% CI]")
+	for _, p := range bers {
+		flood, err := ldpc.SimulateFER(code, ldpc.NewDecoder(code), p, *frames, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecctool:", err)
+			os.Exit(1)
+		}
+		layer, err := ldpc.SimulateFER(code, ldpc.NewLayeredDecoder(code), p, *frames, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecctool:", err)
+			os.Exit(1)
+		}
+		fl, fh := stats.ProportionCI95(int64(flood.FrameFails), int64(flood.Frames))
+		ll, lh := stats.ProportionCI95(int64(layer.FrameFails), int64(layer.Frames))
+		fmt.Printf("%-8.4f %8.3f [%5.3f, %5.3f] %11.3f [%5.3f, %5.3f]   iters %.1f vs %.1f\n",
+			p, flood.FER(), fl, fh, layer.FER(), ll, lh, flood.AvgIters, layer.AvgIters)
+	}
+
+	if !*withBCH {
+		return
+	}
+	bchCode, err := bch.New(8, 8)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecctool:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nBCH (n=%d, k=%d, t=%d):\n", bchCode.N, bchCode.K, bchCode.T)
+	fmt.Printf("%-8s %26s\n", "BER", "FER [95% CI]")
+	rng := rand.New(rand.NewSource(*seed))
+	for _, p := range bers {
+		fails := 0
+		for f := 0; f < *frames; f++ {
+			data := make([]byte, bchCode.K)
+			for i := range data {
+				data[i] = byte(rng.Intn(2))
+			}
+			cw, err := bchCode.Encode(data)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ecctool:", err)
+				os.Exit(1)
+			}
+			for i := range cw {
+				if rng.Float64() < p {
+					cw[i] ^= 1
+				}
+			}
+			res, err := bchCode.Decode(cw)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ecctool:", err)
+				os.Exit(1)
+			}
+			ok := res.OK
+			for i := range data {
+				if res.Data[i] != data[i] {
+					ok = false
+				}
+			}
+			if !ok {
+				fails++
+			}
+		}
+		lo, hi := stats.ProportionCI95(int64(fails), int64(*frames))
+		fmt.Printf("%-8.4f %8.3f [%5.3f, %5.3f]\n", p, float64(fails)/float64(*frames), lo, hi)
+	}
+}

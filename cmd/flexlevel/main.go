@@ -1,0 +1,249 @@
+// Command flexlevel runs the FlexLevel paper experiments. Each
+// subcommand regenerates one table or figure of the DAC'15 evaluation:
+//
+//	flexlevel fig5               C2C BER of reduced state cells
+//	flexlevel table4             retention BER grid
+//	flexlevel table5             required extra LDPC sensing levels
+//	flexlevel fig6a [-n N]       normalized response time, 7 workloads x 4 systems
+//	flexlevel fig6b [-n N]       response-time reduction vs P/E sweep
+//	flexlevel fig7  [-n N]       endurance: writes, erases, lifetime
+//	flexlevel ablations [-n N]   design-choice ablation studies
+//	flexlevel ecc                hard-decision BCH vs soft LDPC capability
+//	flexlevel retshare           retention-error share by Vth level (§4.2)
+//	flexlevel replay -trace f    replay a CSV or MSR trace file
+//	flexlevel all   [-n N]       everything above in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexlevel/internal/core"
+	"flexlevel/internal/exp"
+	"flexlevel/internal/sensing"
+	"flexlevel/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|all> [-n requests] [-seed s] [-pe cycles] [-trace file -format csv|msr]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	n := fs.Int("n", 60000, "requests per workload for system experiments")
+	seed := fs.Int64("seed", 1, "workload generator seed")
+	pe := fs.Int("pe", 6000, "P/E cycle point for fig6a/fig7/ablations")
+	traceFile := fs.String("trace", "", "trace file for the replay subcommand")
+	format := fs.String("format", "csv", "trace file format: csv (tracegen) or msr (MSR-Cambridge)")
+	csvDir := fs.String("csv", "", "also write plotting-friendly CSV artifacts into this directory")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		usage()
+	}
+	cfg := exp.SimConfig{Requests: *n, Seed: *seed, PE: *pe}
+
+	writeCSV := func(name string, emit func(w *os.File) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(*csvDir + "/" + name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return emit(f)
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig5":
+			rows, err := exp.Fig5()
+			if err != nil {
+				return err
+			}
+			exp.PrintFig5(os.Stdout, rows)
+			if err := writeCSV("fig5.csv", func(f *os.File) error { return exp.WriteFig5CSV(f, rows) }); err != nil {
+				return err
+			}
+		case "table4":
+			cells, err := exp.Table4()
+			if err != nil {
+				return err
+			}
+			exp.PrintTable4(os.Stdout, cells)
+			if err := writeCSV("table4.csv", func(f *os.File) error { return exp.WriteTable4CSV(f, cells) }); err != nil {
+				return err
+			}
+		case "table5":
+			rows, err := exp.Table5(sensing.DefaultRule())
+			if err != nil {
+				return err
+			}
+			exp.PrintTable5(os.Stdout, rows)
+			if err := writeCSV("table5.csv", func(f *os.File) error { return exp.WriteTable5CSV(f, rows) }); err != nil {
+				return err
+			}
+		case "fig6a":
+			data, err := exp.Fig6a(cfg)
+			if err != nil {
+				return err
+			}
+			exp.PrintFig6a(os.Stdout, data)
+			if err := writeCSV("fig6a.csv", func(f *os.File) error { return exp.WriteFig6aCSV(f, data) }); err != nil {
+				return err
+			}
+		case "fig6b":
+			pts, err := exp.Fig6b(cfg, []int{4000, 5000, 6000})
+			if err != nil {
+				return err
+			}
+			exp.PrintFig6b(os.Stdout, pts)
+		case "fig7":
+			data, err := exp.Fig6a(cfg)
+			if err != nil {
+				return err
+			}
+			rows := exp.Fig7(data)
+			exp.PrintFig7(os.Stdout, rows)
+			if err := writeCSV("fig7.csv", func(f *os.File) error { return exp.WriteFig7CSV(f, rows) }); err != nil {
+				return err
+			}
+		case "ablations":
+			enc, err := exp.EncodingAblation()
+			if err != nil {
+				return err
+			}
+			exp.PrintEncodingAblation(os.Stdout, enc)
+			fmt.Println()
+			margins, err := exp.MarginAblation()
+			if err != nil {
+				return err
+			}
+			exp.PrintMarginAblation(os.Stdout, margins)
+			fmt.Println()
+			hlo, err := exp.HLOAblation(cfg)
+			if err != nil {
+				return err
+			}
+			exp.PrintHLOAblation(os.Stdout, hlo)
+			fmt.Println()
+			pool, err := exp.PoolSweep(cfg, []float64{0.001, 0.005, 0.02, 0.25})
+			if err != nil {
+				return err
+			}
+			exp.PrintPoolSweep(os.Stdout, pool)
+			fmt.Println()
+			rt, err := exp.RefTuneAblation(*pe, 720)
+			if err != nil {
+				return err
+			}
+			exp.PrintRefTune(os.Stdout, *pe, 720, rt)
+			fmt.Println()
+			scrub, err := exp.ScrubAblation(cfg)
+			if err != nil {
+				return err
+			}
+			exp.PrintScrubAblation(os.Stdout, scrub)
+			fmt.Println()
+			ch, err := exp.ChannelAblation(cfg, []int{1, 2, 4, 8})
+			if err != nil {
+				return err
+			}
+			exp.PrintChannelAblation(os.Stdout, ch)
+		case "ecc":
+			rows, err := exp.HardECCStudy()
+			if err != nil {
+				return err
+			}
+			exp.PrintHardECC(os.Stdout, rows)
+		case "retshare":
+			rows, avg, err := exp.RetentionShares()
+			if err != nil {
+				return err
+			}
+			exp.PrintRetentionShares(os.Stdout, rows, avg)
+		case "replay":
+			return replay(*traceFile, *format, *pe)
+		default:
+			usage()
+		}
+		return nil
+	}
+
+	var names []string
+	if cmd == "all" {
+		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare"}
+	} else {
+		names = []string{cmd}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "flexlevel:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// replay runs a trace file through all four systems and prints the
+// Fig. 6(a)-style comparison.
+func replay(path, format string, pe int) error {
+	if path == "" {
+		return fmt.Errorf("replay needs -trace <file>")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var reqs []trace.Request
+	switch format {
+	case "csv":
+		reqs, err = trace.ReadCSV(f)
+	case "msr":
+		cfg := trace.DefaultMSRConfig()
+		cfg.WrapPages = core.DefaultOptions(core.Baseline, pe).SSD.FTL.LogicalPages / 2
+		reqs, err = trace.ReadMSR(f, cfg)
+	default:
+		return fmt.Errorf("unknown trace format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %d requests from %s (%s format) at P/E %d\n", len(reqs), path, format, pe)
+	var metrics []core.Metrics
+	var ref float64
+	for _, sys := range core.Systems() {
+		r, err := core.NewRunner(core.DefaultOptions(sys, pe))
+		if err != nil {
+			return err
+		}
+		m, err := r.RunRequests(path, reqs, 0)
+		if err != nil {
+			return err
+		}
+		if sys == core.LDPCInSSD {
+			ref = m.AvgResponse
+		}
+		metrics = append(metrics, m)
+	}
+	for _, m := range metrics {
+		norm := 0.0
+		if ref > 0 {
+			norm = m.AvgResponse / ref
+		}
+		fmt.Printf("  %-22s avg %9.1fµs (norm %5.2f) p99 read %9.1fµs\n",
+			m.System, m.AvgResponse*1e6, norm, m.P99Read*1e6)
+	}
+	return nil
+}

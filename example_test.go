@@ -1,0 +1,60 @@
+package flexlevel_test
+
+import (
+	"fmt"
+
+	"flexlevel"
+)
+
+// The reduced state needs no soft sensing even at the paper's worst
+// corner, while the baseline MLC pays many extra sensing levels.
+func ExampleRequiredSensingLevels() {
+	c2c, ret, _ := flexlevel.DeviceBER("NUNMA 3", 6000, 720)
+	levels, ok := flexlevel.RequiredSensingLevels(c2c + ret)
+	fmt.Println(levels, ok)
+	// Output: 0 true
+}
+
+func ExampleReadLatency() {
+	fmt.Println(flexlevel.ReadLatency(0))
+	fmt.Println(flexlevel.ReadLatency(6)) // the paper's "7x" regime
+	// Output:
+	// 90µs
+	// 630µs
+}
+
+// EncodePair implements the paper's Table 1 mapping.
+func ExampleEncodePair() {
+	i, ii := flexlevel.EncodePair(0b101)
+	fmt.Println(i, ii)
+	// Output: 0 2
+}
+
+func ExampleDecodePair() {
+	fmt.Println(flexlevel.DecodePair(2, 1))
+	// Output: 7
+}
+
+func ExampleSchemes() {
+	for _, s := range flexlevel.Schemes() {
+		fmt.Println(s)
+	}
+	// Output:
+	// baseline
+	// basic
+	// NUNMA 1
+	// NUNMA 2
+	// NUNMA 3
+}
+
+func ExampleWorkloads() {
+	fmt.Println(len(flexlevel.Workloads()), "workloads")
+	// Output: 7 workloads
+}
+
+func ExampleRelativeLifetime() {
+	// 13% extra write amplification, active only above P/E 4000 of a
+	// 6000-cycle endurance budget.
+	fmt.Printf("%.3f\n", flexlevel.RelativeLifetime(1.2, 1.2*1.13, 4000, 6000))
+	// Output: 0.962
+}

@@ -1,0 +1,43 @@
+// endurance: the Fig. 7 study — what LevelAdjust+AccessEval costs in
+// writes, erases and lifetime, and how the ReducedCell pool size trades
+// capacity loss against read speedup.
+//
+//	go run ./examples/endurance -n 30000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"flexlevel/internal/exp"
+)
+
+func main() {
+	n := flag.Int("n", 30000, "requests per workload")
+	pe := flag.Int("pe", 6000, "P/E cycle point (paper runs Fig. 7 at 6000)")
+	flag.Parse()
+
+	cfg := exp.SimConfig{Requests: *n, Seed: 1, PE: *pe}
+
+	fmt.Println("running the seven workloads under LDPC-in-SSD and FlexLevel...")
+	data, err := exp.Fig6a(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := exp.Fig7(data)
+	exp.PrintFig7(os.Stdout, rows)
+
+	fmt.Println()
+	fmt.Printf("lifetime model: extra write amplification only applies above P/E %d\n", exp.EnduranceActivatePE)
+	fmt.Printf("(Table 5: no extra sensing levels below that point), endurance %d cycles.\n", exp.EnduranceLimit)
+
+	fmt.Println()
+	fmt.Println("ReducedCell pool sweep (web-1): speedup vs capacity loss")
+	sweep, err := exp.PoolSweep(cfg, []float64{0.001, 0.005, 0.02, 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp.PrintPoolSweep(os.Stdout, sweep)
+}

@@ -1,0 +1,77 @@
+// Quickstart: the FlexLevel pipeline in one page.
+//
+// It walks the paper's core argument end to end using the public API:
+// raw BER at heavy wear makes soft LDPC reads slow; LevelAdjust (NUNMA 3)
+// pulls the BER back below the soft-sensing trigger; AccessEval applies
+// it only where it pays, giving most of the speedup for a fraction of
+// the capacity loss.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexlevel"
+)
+
+func main() {
+	const (
+		pe    = 6000 // heavily worn flash
+		hours = 720  // data stored for a month
+	)
+
+	// 1. Device physics: how bad is a regular MLC cell at this point?
+	c2c, ret, err := flexlevel.DeviceBER("baseline", pe, hours)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := c2c + ret
+	levels, ok := flexlevel.RequiredSensingLevels(raw)
+	fmt.Printf("baseline MLC @ P/E %d, %dh:  raw BER %.2e -> %d extra sensing levels (read %v)\n",
+		pe, hours, raw, levels, flexlevel.ReadLatency(levels))
+	if !ok {
+		fmt.Println("  (beyond the device limit: such pages must be refreshed)")
+	}
+
+	// 2. LevelAdjust with NUNMA 3: same wear, reduced Vth levels.
+	c2c, ret, err = flexlevel.DeviceBER("NUNMA 3", pe, hours)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = c2c + ret
+	levels, _ = flexlevel.RequiredSensingLevels(raw)
+	fmt.Printf("NUNMA 3 reduced state:      raw BER %.2e -> %d extra sensing levels (read %v)\n",
+		raw, levels, flexlevel.ReadLatency(levels))
+	fmt.Printf("  cost: %.0f%% storage density vs normal MLC\n\n", 100*flexlevel.ReducedCapacityFactor)
+
+	// 3. ReduceCode: 3 bits per pair of 3-level cells (Table 1).
+	fmt.Println("ReduceCode mapping (3-bit value -> Vth I, Vth II):")
+	for v := uint8(0); v < 8; v++ {
+		i, ii := flexlevel.EncodePair(v)
+		fmt.Printf("  %03b -> (%d,%d)", v, i, ii)
+		if v%4 == 3 {
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+
+	// 4. Full system: replay an OLTP workload under LDPC-in-SSD and
+	// FlexLevel at the same wear point.
+	const workload, requests = "fin-2", 20000
+	ldpc, err := flexlevel.Run(flexlevel.LDPCInSSD, pe, workload, requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flex, err := flexlevel.Run(flexlevel.FlexLevel, pe, workload, requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s @ P/E %d, %d requests:\n", workload, pe, requests)
+	fmt.Printf("  LDPC-in-SSD:  avg response %8.1fµs\n", ldpc.AvgResponse*1e6)
+	fmt.Printf("  FlexLevel:    avg response %8.1fµs  (%.0f%% faster, %.1f%% capacity loss, %d migrations)\n",
+		flex.AvgResponse*1e6,
+		100*(1-flex.AvgResponse/ldpc.AvgResponse),
+		100*flex.CapacityLoss, flex.Migrations)
+}

@@ -1,0 +1,60 @@
+// ssdreplay: replay one synthetic workload under all four storage
+// systems and print the Fig. 6(a)-style comparison, plus the sensing-
+// level histogram that explains where the time goes.
+//
+//	go run ./examples/ssdreplay -w web-1 -n 40000 -pe 6000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"flexlevel/internal/core"
+	"flexlevel/internal/trace"
+)
+
+func main() {
+	name := flag.String("w", "web-1", "workload (fin-2, web-1, web-2, prj-1, prj-2, win-1, win-2)")
+	n := flag.Int("n", 40000, "requests")
+	pe := flag.Int("pe", 6000, "P/E cycle point")
+	seed := flag.Int64("seed", 1, "trace seed")
+	flag.Parse()
+
+	opts := core.DefaultOptions(core.Baseline, *pe)
+	w, err := trace.ByName(*name, *n, opts.SSD.FTL.LogicalPages, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s (%s): %d requests, %.0f%% reads, working set %d pages, P/E %d\n\n",
+		w.Name, w.Class, w.Requests, 100*w.ReadRatio, w.WorkingSet, *pe)
+
+	var metrics []core.Metrics
+	var ref float64
+	for _, sys := range core.Systems() {
+		r, err := core.NewRunner(core.DefaultOptions(sys, *pe))
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := r.Run(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sys == core.LDPCInSSD {
+			ref = m.AvgResponse
+		}
+		metrics = append(metrics, m)
+	}
+	for _, m := range metrics {
+		norm := "     -"
+		if ref > 0 {
+			norm = fmt.Sprintf("%6.2f", m.AvgResponse/ref)
+		}
+		fmt.Printf("%-22s avg %9.1fµs (norm %s)  reads %9.1fµs  writes %9.1fµs\n",
+			m.System, m.AvgResponse*1e6, norm, m.AvgRead*1e6, m.AvgWrite*1e6)
+		fmt.Printf("%22s programs %d, erases %d, WA %.2f, migrations %d, capacity loss %.1f%%\n",
+			"", m.TotalPrograms, m.Erases, m.WriteAmp, m.Migrations, 100*m.CapacityLoss)
+		fmt.Printf("%22s sensing levels per read: %v\n\n", "", m.LevelHist)
+	}
+	fmt.Println("norm column is relative to ldpc-in-ssd (the paper's Fig. 6(a) normalization).")
+}

@@ -1,0 +1,83 @@
+package flexlevel_test
+
+import (
+	"testing"
+
+	"flexlevel"
+)
+
+func TestSchemesAndWorkloadsEnumerate(t *testing.T) {
+	if got := len(flexlevel.Schemes()); got != 5 {
+		t.Errorf("%d schemes, want 5", got)
+	}
+	if got := len(flexlevel.Workloads()); got != 7 {
+		t.Errorf("%d workloads, want 7", got)
+	}
+	if got := len(flexlevel.Systems()); got != 4 {
+		t.Errorf("%d systems, want 4", got)
+	}
+}
+
+func TestDeviceBERFacade(t *testing.T) {
+	c2cBase, retBase, err := flexlevel.DeviceBER("baseline", 6000, 720)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2cN3, retN3, err := flexlevel.DeviceBER("NUNMA 3", 6000, 720)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2cN3 >= c2cBase || retN3 >= retBase {
+		t.Errorf("NUNMA 3 (%.2e/%.2e) should beat baseline (%.2e/%.2e)",
+			c2cN3, retN3, c2cBase, retBase)
+	}
+	if _, _, err := flexlevel.DeviceBER("nope", 1000, 1); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestSensingFacade(t *testing.T) {
+	if l, ok := flexlevel.RequiredSensingLevels(1e-4); !ok || l != 0 {
+		t.Errorf("RequiredSensingLevels(1e-4) = %d,%v", l, ok)
+	}
+	if l, _ := flexlevel.RequiredSensingLevels(1.2e-2); l < 3 {
+		t.Errorf("RequiredSensingLevels(1.2e-2) = %d, want several", l)
+	}
+	if r := flexlevel.ReadLatency(6); r != 7*flexlevel.ReadLatency(0) {
+		t.Errorf("7x latency claim broken: %v vs %v", r, flexlevel.ReadLatency(0))
+	}
+}
+
+func TestPairCodecFacade(t *testing.T) {
+	for v := uint8(0); v < 8; v++ {
+		i, ii := flexlevel.EncodePair(v)
+		if got := flexlevel.DecodePair(i, ii); got != v {
+			t.Errorf("DecodePair(EncodePair(%d)) = %d", v, got)
+		}
+	}
+	if flexlevel.ReducedCapacityFactor != 0.75 {
+		t.Error("capacity factor should be 0.75")
+	}
+}
+
+func TestRunFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system run")
+	}
+	m, err := flexlevel.Run(flexlevel.FlexLevel, 6000, "fin-2", 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvgResponse <= 0 || m.Workload != "fin-2" {
+		t.Errorf("bad metrics: %+v", m)
+	}
+	if _, err := flexlevel.Run(flexlevel.FlexLevel, 6000, "nope", 10); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestLifetimeFacade(t *testing.T) {
+	if l := flexlevel.RelativeLifetime(1.2, 1.2, 4000, 6000); l != 1 {
+		t.Errorf("equal-WA lifetime = %g, want 1", l)
+	}
+}

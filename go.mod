@@ -1,0 +1,3 @@
+module flexlevel
+
+go 1.22

@@ -1,0 +1,197 @@
+// Package accesseval implements FlexLevel §5: the AccessEval module that
+// decides which data earns a reduced-state (LevelAdjust) page. It
+// combines a multiple-bloom-filter read-frequency identifier (L_f), a
+// sensing-level bucketizer (L_sensing), the LDPC-overhead rule
+// overhead = L_f × L_sensing, and the ReducedCell pool — an LRU-managed,
+// capacity-capped set of logical pages held in reduced state.
+package accesseval
+
+import (
+	"container/list"
+	"fmt"
+
+	"flexlevel/internal/hotdata"
+	"flexlevel/internal/sensing"
+)
+
+// Params configures the controller. The paper's evaluation uses
+// Lf = Lsensing = 2 and a pool of one quarter of the logical space
+// (64GB of 256GB).
+type Params struct {
+	Lf        int // read-frequency levels (N)
+	Lsensing  int // sensing-level buckets (M)
+	Threshold int // migrate when Lf-level × Lsensing-bucket >= Threshold
+	PoolPages int // ReducedCell pool capacity (logical pages)
+	Hot       hotdata.Config
+}
+
+// DefaultParams returns the paper's configuration scaled to logicalPages
+// of storage: both rule dimensions at 2 levels, threshold requiring both
+// to be at their maximum, and a pool of a quarter of the logical space.
+func DefaultParams(logicalPages uint64) Params {
+	return Params{
+		Lf:        2,
+		Lsensing:  2,
+		Threshold: 4,
+		PoolPages: int(logicalPages / 4),
+		Hot:       hotdata.DefaultConfig(),
+	}
+}
+
+// Validate reports parameter problems.
+func (p Params) Validate() error {
+	if p.Lf < 1 || p.Lsensing < 1 {
+		return fmt.Errorf("accesseval: Lf/Lsensing %d/%d must be >= 1", p.Lf, p.Lsensing)
+	}
+	if p.Threshold < 1 || p.Threshold > p.Lf*p.Lsensing {
+		return fmt.Errorf("accesseval: threshold %d out of [1, %d]", p.Threshold, p.Lf*p.Lsensing)
+	}
+	if p.PoolPages < 0 {
+		return fmt.Errorf("accesseval: negative pool capacity")
+	}
+	return nil
+}
+
+// Decision is the controller's verdict for one read.
+type Decision struct {
+	// Migrate: store the page into the reduced pool now.
+	Migrate bool
+	// Evict lists pages to convert back to normal state first (LRU
+	// victims making room).
+	Evict []uint64
+}
+
+// Controller is the AccessEval module.
+type Controller struct {
+	params Params
+	hot    *hotdata.Identifier
+
+	pool map[uint64]*list.Element
+	lru  *list.List // front = most recently accessed
+
+	migrations int64
+	evictions  int64
+}
+
+// New builds a Controller.
+func New(p Params) (*Controller, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	hot, err := hotdata.New(p.Hot)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		params: p,
+		hot:    hot,
+		pool:   make(map[uint64]*list.Element),
+		lru:    list.New(),
+	}, nil
+}
+
+// Params returns the controller's configuration.
+func (c *Controller) Params() Params { return c.params }
+
+// InPool reports whether lpn currently lives in reduced state.
+func (c *Controller) InPool(lpn uint64) bool {
+	_, ok := c.pool[lpn]
+	return ok
+}
+
+// PoolSize returns the number of pages in the reduced pool.
+func (c *Controller) PoolSize() int { return len(c.pool) }
+
+// Migrations returns how many pages were admitted to the pool.
+func (c *Controller) Migrations() int64 { return c.migrations }
+
+// Evictions returns how many pages were evicted back to normal state.
+func (c *Controller) Evictions() int64 { return c.evictions }
+
+// SensingBucket maps a read's extra sensing-level count to the paper's
+// L_sensing bucket in [1, Lsensing]: level 0 (hard decision) is bucket 1
+// and every extra level beyond that climbs one bucket, saturating.
+func (c *Controller) SensingBucket(levels int) int {
+	if levels < 0 {
+		levels = 0
+	}
+	b := 1 + levels
+	if b > c.params.Lsensing {
+		b = c.params.Lsensing
+	}
+	return b
+}
+
+// Overhead returns the LDPC-overhead estimate L_f × L_sensing for a read
+// of lpn that used the given sensing levels.
+func (c *Controller) Overhead(lpn uint64, levels int) int {
+	lf := c.hot.FreqLevel(lpn, c.params.Lf)
+	return lf * c.SensingBucket(levels)
+}
+
+// OnRead records a read of lpn that needed the given extra sensing
+// levels and returns the migration decision. Pool membership is updated
+// immediately; the caller performs the physical page moves.
+func (c *Controller) OnRead(lpn uint64, levels int) Decision {
+	c.hot.Record(lpn)
+	if el, ok := c.pool[lpn]; ok {
+		c.lru.MoveToFront(el)
+		return Decision{}
+	}
+	if c.params.PoolPages == 0 {
+		return Decision{}
+	}
+	if c.Overhead(lpn, levels) < c.params.Threshold {
+		return Decision{}
+	}
+	var d Decision
+	d.Migrate = true
+	for len(c.pool) >= c.params.PoolPages {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(uint64)
+		c.lru.Remove(back)
+		delete(c.pool, victim)
+		c.evictions++
+		d.Evict = append(d.Evict, victim)
+	}
+	c.pool[lpn] = c.lru.PushFront(lpn)
+	c.migrations++
+	return d
+}
+
+// OnWrite returns whether the write of lpn should target the reduced
+// pool (pool members stay reduced; everything else is normal) and
+// refreshes the page's LRU position.
+func (c *Controller) OnWrite(lpn uint64) (reduced bool) {
+	if el, ok := c.pool[lpn]; ok {
+		c.lru.MoveToFront(el)
+		return true
+	}
+	return false
+}
+
+// Remove drops lpn from the pool (e.g. the caller failed to migrate it).
+func (c *Controller) Remove(lpn uint64) {
+	if el, ok := c.pool[lpn]; ok {
+		c.lru.Remove(el)
+		delete(c.pool, lpn)
+	}
+}
+
+// MaxSensingLevels exposes the saturation point of SensingBucket — the
+// device limit, for documentation and tests.
+func MaxSensingLevels() int { return sensing.MaxExtraLevels }
+
+// MemoryFootprintBytes estimates the controller's DRAM cost: 4 bytes
+// per ReducedCell pool entry (the paper's §5 estimate — 8MB for a 64GB
+// pool of 16KB pages) plus the bloom filters of the read-frequency
+// identifier.
+func (c *Controller) MemoryFootprintBytes() int64 {
+	const bytesPerEntry = 4
+	pool := int64(c.params.PoolPages) * bytesPerEntry
+	bloom := int64(c.params.Hot.Filters) * int64(c.params.Hot.BitsPerFilter) / 8
+	return pool + bloom
+}

@@ -1,0 +1,88 @@
+// Package baseline implements the read-retry policies of the systems
+// FlexLevel is compared against:
+//
+//   - FixedWorstCase — the no-scheme baseline: a controller without
+//     fine-grained retry that senses every read at the worst-case soft
+//     level for the device's age.
+//   - LDPCInSSD — Zhao et al., FAST'13 [2]: progressive sensing with
+//     per-block memory; reads start at the block's remembered level and
+//     escalate one level per retry until decoding succeeds, then the
+//     level is memorized.
+//   - Oracle — an idealized lower bound that always knows the exact
+//     requirement (used by ablation benches).
+package baseline
+
+// ReadPolicy decides the sensing-level attempts a read performs.
+// required is the true number of extra soft sensing levels the page
+// needs for successful LDPC decoding; the returned slice is the sequence
+// of levels the controller tries, ending with one that is >= required.
+type ReadPolicy interface {
+	Attempts(block int, required int) []int
+	Name() string
+}
+
+// FixedWorstCase always senses at a fixed conservative level, escalating
+// only when even that is insufficient.
+type FixedWorstCase struct {
+	Levels int
+}
+
+// Name implements ReadPolicy.
+func (FixedWorstCase) Name() string { return "baseline" }
+
+// Attempts implements ReadPolicy.
+func (p FixedWorstCase) Attempts(_ int, required int) []int {
+	if required <= p.Levels {
+		return []int{p.Levels}
+	}
+	out := make([]int, 0, required-p.Levels+1)
+	for l := p.Levels; l <= required; l++ {
+		out = append(out, l)
+	}
+	return out
+}
+
+// LDPCInSSD is the progressive read-retry with per-block level memory.
+type LDPCInSSD struct {
+	mem map[int]int
+}
+
+// NewLDPCInSSD returns an empty-memory policy.
+func NewLDPCInSSD() *LDPCInSSD {
+	return &LDPCInSSD{mem: make(map[int]int)}
+}
+
+// Name implements ReadPolicy.
+func (*LDPCInSSD) Name() string { return "ldpc-in-ssd" }
+
+// Attempts implements ReadPolicy: start at the remembered level (0 for
+// an unseen block), escalate until sufficient, and memorize the result.
+// Memory only rises — a block's BER only grows with wear and retention
+// within an erase cycle.
+func (p *LDPCInSSD) Attempts(block int, required int) []int {
+	start := p.mem[block]
+	if start >= required {
+		return []int{start}
+	}
+	out := make([]int, 0, required-start+1)
+	for l := start; l <= required; l++ {
+		out = append(out, l)
+	}
+	p.mem[block] = required
+	return out
+}
+
+// Forget clears a block's memory (called on erase: a fresh block starts
+// over at hard-decision sensing).
+func (p *LDPCInSSD) Forget(block int) {
+	delete(p.mem, block)
+}
+
+// Oracle always senses at exactly the required level.
+type Oracle struct{}
+
+// Name implements ReadPolicy.
+func (Oracle) Name() string { return "oracle" }
+
+// Attempts implements ReadPolicy.
+func (Oracle) Attempts(_ int, required int) []int { return []int{required} }

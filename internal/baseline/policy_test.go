@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedWorstCase(t *testing.T) {
+	p := FixedWorstCase{Levels: 4}
+	if got := p.Attempts(0, 2); len(got) != 1 || got[0] != 4 {
+		t.Errorf("Attempts(required=2) = %v, want [4]", got)
+	}
+	if got := p.Attempts(0, 4); len(got) != 1 || got[0] != 4 {
+		t.Errorf("Attempts(required=4) = %v, want [4]", got)
+	}
+	// Escalates when even the fixed level is insufficient.
+	if got := p.Attempts(0, 6); len(got) != 3 || got[0] != 4 || got[2] != 6 {
+		t.Errorf("Attempts(required=6) = %v, want [4 5 6]", got)
+	}
+	if p.Name() != "baseline" {
+		t.Error("name wrong")
+	}
+}
+
+func TestLDPCInSSDProgression(t *testing.T) {
+	p := NewLDPCInSSD()
+	// First read of a block with requirement 3: tries 0,1,2,3.
+	got := p.Attempts(5, 3)
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Attempts = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Attempts = %v, want %v", got, want)
+		}
+	}
+	// Second read of the same block: memorized, single attempt.
+	if got := p.Attempts(5, 3); len(got) != 1 || got[0] != 3 {
+		t.Errorf("memorized Attempts = %v, want [3]", got)
+	}
+	// Lower requirement later still uses the memorized level (memory
+	// only rises within an erase cycle).
+	if got := p.Attempts(5, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Attempts after memory = %v, want [3]", got)
+	}
+	// Higher requirement escalates from the memory.
+	if got := p.Attempts(5, 5); len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Errorf("escalation = %v, want [3 4 5]", got)
+	}
+	// Other blocks are independent.
+	if got := p.Attempts(6, 0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("fresh block Attempts = %v, want [0]", got)
+	}
+	if p.Name() != "ldpc-in-ssd" {
+		t.Error("name wrong")
+	}
+}
+
+func TestLDPCInSSDForget(t *testing.T) {
+	p := NewLDPCInSSD()
+	p.Attempts(9, 4)
+	p.Forget(9)
+	// After erase, the block starts over from hard decision.
+	if got := p.Attempts(9, 2); len(got) != 3 || got[0] != 0 {
+		t.Errorf("Attempts after Forget = %v, want [0 1 2]", got)
+	}
+}
+
+func TestOracle(t *testing.T) {
+	var p Oracle
+	for _, req := range []int{0, 3, 7} {
+		if got := p.Attempts(1, req); len(got) != 1 || got[0] != req {
+			t.Errorf("Oracle.Attempts(%d) = %v", req, got)
+		}
+	}
+	if p.Name() != "oracle" {
+		t.Error("name wrong")
+	}
+}
+
+// Property: every policy's attempt sequence is non-empty, strictly
+// increasing, and ends at a level >= required.
+func TestPolicyContract(t *testing.T) {
+	policies := []ReadPolicy{
+		FixedWorstCase{Levels: 3},
+		NewLDPCInSSD(),
+		Oracle{},
+	}
+	f := func(blockRaw uint8, reqRaw uint8) bool {
+		block := int(blockRaw) % 16
+		required := int(reqRaw) % 8
+		for _, p := range policies {
+			got := p.Attempts(block, required)
+			if len(got) == 0 {
+				return false
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					return false
+				}
+			}
+			if got[len(got)-1] < required {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

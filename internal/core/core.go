@@ -1,0 +1,354 @@
+// Package core assembles the FlexLevel storage system and the three
+// comparison systems of the paper's evaluation (§6.2):
+//
+//   - Baseline — soft-decision LDPC with worst-case fixed sensing.
+//   - LDPCInSSD — progressive read retry with per-block memory [2].
+//   - LevelAdjustOnly — every page in the reduced (LevelAdjust) state;
+//     fast reads but 25% capacity loss eats the over-provisioning.
+//   - FlexLevel — LevelAdjust + AccessEval: only high-LDPC-overhead data
+//     migrates to a capacity-capped reduced pool.
+//
+// Run drives a synthetic workload through a system and reports the
+// metrics behind Figures 6 and 7.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"flexlevel/internal/accesseval"
+	"flexlevel/internal/baseline"
+	"flexlevel/internal/ftl"
+	"flexlevel/internal/noise"
+	"flexlevel/internal/nunma"
+	"flexlevel/internal/reducecode"
+	"flexlevel/internal/ssd"
+	"flexlevel/internal/trace"
+)
+
+// System identifies one of the four evaluated storage systems.
+type System int
+
+const (
+	// Baseline is the no-scheme system with worst-case fixed sensing.
+	Baseline System = iota
+	// LDPCInSSD is the FAST'13 progressive-retry comparison system.
+	LDPCInSSD
+	// LevelAdjustOnly applies LevelAdjust to every page.
+	LevelAdjustOnly
+	// FlexLevel is LevelAdjust + AccessEval (the paper's design).
+	FlexLevel
+)
+
+// Systems lists all four in evaluation order.
+func Systems() []System {
+	return []System{Baseline, LDPCInSSD, LevelAdjustOnly, FlexLevel}
+}
+
+func (s System) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case LDPCInSSD:
+		return "ldpc-in-ssd"
+	case LevelAdjustOnly:
+		return "leveladjust-only"
+	case FlexLevel:
+		return "leveladjust+accesseval"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Options configures a system run.
+type Options struct {
+	System System
+	// PE is the P/E cycle point of the evaluation (paper: 4000-6000).
+	PE int
+	// NUNMAConfig names the reduced-state configuration (paper uses
+	// "NUNMA 3" so reduced pages never need soft sensing).
+	NUNMAConfig string
+	// SSD is the simulator configuration; its FTL.InitialPE is
+	// overwritten by PE.
+	SSD ssd.Config
+	// AccessEval parameterizes the FlexLevel controller (ignored by the
+	// other systems). Zero value = DefaultParams over the logical space.
+	AccessEval accesseval.Params
+}
+
+// DefaultOptions returns the paper's evaluation point for a system.
+func DefaultOptions(sys System, pe int) Options {
+	cfg := ssd.DefaultConfig()
+	return Options{
+		System:      sys,
+		PE:          pe,
+		NUNMAConfig: "NUNMA 3",
+		SSD:         cfg,
+		AccessEval:  accesseval.DefaultParams(cfg.FTL.LogicalPages),
+	}
+}
+
+// Metrics is the outcome of one workload run.
+type Metrics struct {
+	Workload string
+	System   System
+
+	AvgResponse float64 // seconds, all requests (Fig. 6 metric)
+	AvgRead     float64
+	AvgWrite    float64
+	P99Read     float64 // 99th percentile read response, seconds
+
+	UserWrites    int64
+	TotalPrograms int64 // Fig. 7(a) write count
+	Erases        int64 // Fig. 7(b) erase count
+	WriteAmp      float64
+
+	Migrations int64
+	Evictions  int64
+
+	CapacityLoss float64 // paper §5 metric
+	ReducedPages int
+
+	LevelHist [8]int64 // final sensing level per read
+}
+
+// berModels builds the closed-form BER functions for the two states.
+func berModels(nunmaName string) (ssd.BERFunc, error) {
+	normalModel, err := noise.NewBERModel(nunma.BaselineMLC(), noise.MLCGray())
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := nunma.ByName(nunmaName)
+	if err != nil {
+		return nil, err
+	}
+	reducedModel, err := noise.NewBERModel(cfg.Spec(), reducecode.Encoding())
+	if err != nil {
+		return nil, err
+	}
+	// BER evaluation involves erfc and pow; cache on quantized age.
+	type key struct {
+		state ftl.BlockState
+		pe    int
+		ageH  int
+	}
+	cache := make(map[key]float64)
+	return func(state ftl.BlockState, pe int, ageHours float64) float64 {
+		k := key{state, pe, int(ageHours)}
+		if v, ok := cache[k]; ok {
+			return v
+		}
+		m := normalModel
+		if state == ftl.ReducedState {
+			m = reducedModel
+		}
+		v := m.TotalBER(pe, float64(k.ageH))
+		cache[k] = v
+		return v
+	}, nil
+}
+
+// Runner executes workloads against one configured system.
+type Runner struct {
+	opts   Options
+	device *ssd.Device
+	ctrl   *accesseval.Controller // non-nil only for FlexLevel
+	berOf  ssd.BERFunc
+}
+
+// NewRunner builds the system described by opts.
+func NewRunner(opts Options) (*Runner, error) {
+	if opts.PE < 0 {
+		return nil, fmt.Errorf("core: negative P/E point")
+	}
+	if opts.NUNMAConfig == "" {
+		opts.NUNMAConfig = "NUNMA 3"
+	}
+	berOf, err := berModels(opts.NUNMAConfig)
+	if err != nil {
+		return nil, err
+	}
+	opts.SSD.FTL.InitialPE = opts.PE
+
+	var policy baseline.ReadPolicy
+	switch opts.System {
+	case Baseline:
+		// Worst-case fixed sensing: the levels needed at the maximum
+		// retention age for this P/E point.
+		worstBER := berOf(ftl.NormalState, opts.PE, opts.SSD.MaxDataAgeHours)
+		levels, _ := opts.SSD.Rule.RequiredLevels(worstBER)
+		policy = baseline.FixedWorstCase{Levels: levels}
+	case LDPCInSSD, LevelAdjustOnly, FlexLevel:
+		policy = baseline.NewLDPCInSSD()
+	default:
+		return nil, fmt.Errorf("core: unknown system %v", opts.System)
+	}
+
+	device, err := ssd.New(opts.SSD, berOf, policy)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{opts: opts, device: device, berOf: berOf}
+	if opts.System == FlexLevel {
+		p := opts.AccessEval
+		if p.Lf == 0 {
+			p = accesseval.DefaultParams(opts.SSD.FTL.LogicalPages)
+		}
+		ctrl, err := accesseval.New(p)
+		if err != nil {
+			return nil, err
+		}
+		r.ctrl = ctrl
+	}
+	return r, nil
+}
+
+// Device exposes the underlying simulator (for tests and tooling).
+func (r *Runner) Device() *ssd.Device { return r.device }
+
+// preloadState returns the pool preloaded data lands in.
+func (r *Runner) preloadState() ftl.BlockState {
+	if r.opts.System == LevelAdjustOnly {
+		return ftl.ReducedState
+	}
+	return ftl.NormalState
+}
+
+// writeState returns the pool a user write of lpn targets.
+func (r *Runner) writeState(lpn uint64) ftl.BlockState {
+	switch r.opts.System {
+	case LevelAdjustOnly:
+		return ftl.ReducedState
+	case FlexLevel:
+		if r.ctrl.OnWrite(lpn) {
+			return ftl.ReducedState
+		}
+		return ftl.NormalState
+	default:
+		return ftl.NormalState
+	}
+}
+
+// Run replays the workload and returns its metrics. The device is
+// preloaded (every working-set page written once, with random retention
+// ages) before the measured phase.
+func (r *Runner) Run(w trace.Workload) (Metrics, error) {
+	reqs, err := w.Generate()
+	if err != nil {
+		return Metrics{}, err
+	}
+	return r.RunRequests(w.Name, reqs, w.WorkingSet)
+}
+
+// RunRequests replays an explicit request stream (synthetic or parsed
+// from a real trace file) against the system. workingSet is the number
+// of logical pages to precondition; pass 0 to derive it from the
+// largest page the stream touches.
+func (r *Runner) RunRequests(name string, reqs []trace.Request, workingSet uint64) (Metrics, error) {
+	if workingSet == 0 {
+		for _, req := range reqs {
+			if end := req.LPN + uint64(req.Pages); end > workingSet {
+				workingSet = end
+			}
+		}
+	}
+	if err := r.preload(workingSet); err != nil {
+		return Metrics{}, err
+	}
+	for _, req := range reqs {
+		for p := 0; p < req.Pages; p++ {
+			lpn := req.LPN + uint64(p)
+			if lpn >= r.opts.SSD.FTL.LogicalPages {
+				lpn %= r.opts.SSD.FTL.LogicalPages
+			}
+			if req.Op == trace.Read {
+				if err := r.read(req.Arrival, lpn); err != nil {
+					return Metrics{}, err
+				}
+			} else {
+				if _, err := r.device.Write(req.Arrival, lpn, r.writeState(lpn)); err != nil {
+					return Metrics{}, fmt.Errorf("core: %s write lpn %d: %w", r.opts.System, lpn, err)
+				}
+			}
+		}
+	}
+	return r.metrics(name), nil
+}
+
+func (r *Runner) preload(pages uint64) error {
+	if pages > r.opts.SSD.FTL.LogicalPages {
+		pages = r.opts.SSD.FTL.LogicalPages
+	}
+	// LevelAdjustOnly preloads into the reduced pool; the stock device
+	// preload targets normal blocks, so do it manually for that system.
+	if r.opts.System != LevelAdjustOnly {
+		return r.device.Preload(pages)
+	}
+	for lpn := uint64(0); lpn < pages; lpn++ {
+		if _, err := r.device.Write(0, lpn, ftl.ReducedState); err != nil {
+			return fmt.Errorf("core: leveladjust-only preload: %w", err)
+		}
+	}
+	r.device.ResetMeasurement()
+	return nil
+}
+
+func (r *Runner) read(now time.Duration, lpn uint64) error {
+	_, levels := r.device.Read(now, lpn)
+	if r.ctrl == nil {
+		return nil
+	}
+	dec := r.ctrl.OnRead(lpn, levels)
+	for _, victim := range dec.Evict {
+		if err := r.device.Migrate(now, victim, ftl.NormalState); err != nil {
+			return fmt.Errorf("core: evict lpn %d: %w", victim, err)
+		}
+	}
+	if dec.Migrate {
+		if err := r.device.Migrate(now, lpn, ftl.ReducedState); err != nil {
+			return fmt.Errorf("core: migrate lpn %d: %w", lpn, err)
+		}
+	}
+	return nil
+}
+
+func (r *Runner) metrics(workload string) Metrics {
+	res := r.device.Results()
+	m := Metrics{
+		Workload:      workload,
+		System:        r.opts.System,
+		AvgResponse:   res.OverallResp.Mean(),
+		AvgRead:       res.ReadResp.Mean(),
+		AvgWrite:      res.WriteResp.Mean(),
+		P99Read:       res.ReadSample.Percentile(99),
+		UserWrites:    res.FTL.UserPrograms,
+		TotalPrograms: res.FTL.TotalPrograms(),
+		Erases:        res.FTL.Erases,
+		WriteAmp:      res.FTL.WriteAmplification(),
+		CapacityLoss:  r.device.FTL().CapacityLoss(),
+		ReducedPages:  r.device.FTL().ReducedPages(),
+	}
+	copy(m.LevelHist[:], res.LevelHist[:])
+	if r.ctrl != nil {
+		m.Migrations = r.ctrl.Migrations()
+		m.Evictions = r.ctrl.Evictions()
+	}
+	return m
+}
+
+// RelativeLifetime implements the Fig. 7(c) lifetime model: the system's
+// total writable volume relative to the reference system's, when the
+// scheme (with its extra write amplification) only activates above
+// activatePE — the P/E point where extra sensing levels first appear
+// (Table 5: 4000) — and blocks retire at endurance cycles.
+func RelativeLifetime(refWA, sysWA float64, activatePE, endurance int) float64 {
+	if refWA <= 0 || sysWA <= 0 || endurance <= 0 || activatePE < 0 {
+		return 0
+	}
+	if activatePE > endurance {
+		activatePE = endurance
+	}
+	ref := float64(endurance) / refWA
+	sys := float64(activatePE)/refWA + float64(endurance-activatePE)/sysWA
+	return sys / ref
+}

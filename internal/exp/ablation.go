@@ -1,0 +1,375 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"flexlevel/internal/accesseval"
+	"flexlevel/internal/core"
+	"flexlevel/internal/noise"
+	"flexlevel/internal/nunma"
+	"flexlevel/internal/reducecode"
+	"flexlevel/internal/stats"
+	"flexlevel/internal/trace"
+)
+
+// AblationEncoding compares ReduceCode against the naive Gray-on-3-levels
+// mapping it replaces (DESIGN.md §5): bits per cell and worst-case BER.
+type AblationEncoding struct {
+	Name         string
+	BitsPerCell  float64
+	CapacityLoss float64 // vs normal MLC's 2 bits/cell
+	WorstBER     float64 // max of C2C and retention at P/E 6000, 1 month
+}
+
+// EncodingAblation evaluates ReduceCode and naive Gray on the NUNMA 3
+// reduced device, plus the industry-standard SLC-mode fallback on the
+// regular 4-level device.
+func EncodingAblation() ([]AblationEncoding, error) {
+	cfg, err := nunma.ByName("NUNMA 3")
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		spec *noise.Spec
+		enc  noise.Encoding
+	}{
+		{cfg.Spec(), reducecode.Encoding()},
+		{cfg.Spec(), reducecode.GrayOn3Levels()},
+		{nunma.SLCModeSpec(), noise.SLCMode()},
+	}
+	var out []AblationEncoding
+	for _, c := range cases {
+		m, err := noise.NewBERModel(c.spec, c.enc)
+		if err != nil {
+			return nil, err
+		}
+		worst := m.C2CBER()
+		if r := m.RetentionBER(6000, 720); r > worst {
+			worst = r
+		}
+		out = append(out, AblationEncoding{
+			Name:         c.enc.Name,
+			BitsPerCell:  c.enc.BitsPerCell,
+			CapacityLoss: 1 - c.enc.BitsPerCell/2,
+			WorstBER:     worst,
+		})
+	}
+	return out, nil
+}
+
+// PrintEncodingAblation renders the encoding comparison.
+func PrintEncodingAblation(w io.Writer, rows []AblationEncoding) {
+	fmt.Fprintln(w, "Ablation — ReduceCode vs naive Gray on 3 levels")
+	fmt.Fprintf(w, "  %-18s %10s %14s %12s\n", "encoding", "bits/cell", "capacity loss", "worst BER")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %10.2f %13.0f%% %12.3e\n",
+			r.Name, r.BitsPerCell, 100*r.CapacityLoss, r.WorstBER)
+	}
+}
+
+// AblationMargin compares NUNMA 3 against the basic uniform-margin
+// LevelAdjust (§4.1 before §4.2 is applied).
+type AblationMargin struct {
+	Name         string
+	C2CBER       float64
+	RetentionBER float64 // at P/E 6000, 1 month
+}
+
+// MarginAblation evaluates the two margin policies.
+func MarginAblation() ([]AblationMargin, error) {
+	cfg3, err := nunma.ByName("NUNMA 3")
+	if err != nil {
+		return nil, err
+	}
+	specs := []struct {
+		name string
+		spec func() (*noise.BERModel, error)
+	}{
+		{"uniform (basic §4.1)", func() (*noise.BERModel, error) {
+			return noise.NewBERModel(nunma.BasicLevelAdjust(), reducecode.Encoding())
+		}},
+		{"NUNMA 3", func() (*noise.BERModel, error) {
+			return noise.NewBERModel(cfg3.Spec(), reducecode.Encoding())
+		}},
+	}
+	var out []AblationMargin
+	for _, s := range specs {
+		m, err := s.spec()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationMargin{
+			Name:         s.name,
+			C2CBER:       m.C2CBER(),
+			RetentionBER: m.RetentionBER(6000, 720),
+		})
+	}
+	return out, nil
+}
+
+// PrintMarginAblation renders the margin comparison.
+func PrintMarginAblation(w io.Writer, rows []AblationMargin) {
+	fmt.Fprintln(w, "Ablation — uniform margins vs NUNMA (P/E 6000, 1 month)")
+	fmt.Fprintf(w, "  %-22s %12s %14s\n", "margins", "C2C BER", "retention BER")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-22s %12.3e %14.3e\n", r.Name, r.C2CBER, r.RetentionBER)
+	}
+}
+
+// AblationHLO compares the paper's L_f × L_sensing HLO rule against a
+// read-frequency-only identifier on one workload.
+type AblationHLO struct {
+	Rule       string
+	Norm       float64 // response time vs LDPC-in-SSD
+	Migrations int64
+	WriteAmp   float64
+}
+
+// HLOAblation runs fin-2 under both identification rules.
+func HLOAblation(cfg SimConfig) ([]AblationHLO, error) {
+	opts := core.DefaultOptions(core.FlexLevel, cfg.PE)
+	w, err := trace.ByName("fin-2", cfg.Requests, opts.SSD.FTL.LogicalPages, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Reference: LDPC-in-SSD.
+	refRunner, err := core.NewRunner(core.DefaultOptions(core.LDPCInSSD, cfg.PE))
+	if err != nil {
+		return nil, err
+	}
+	ref, err := refRunner.Run(w)
+	if err != nil {
+		return nil, err
+	}
+	rules := []struct {
+		name   string
+		params func(uint64) accesseval.Params
+	}{
+		{"Lf x Lsensing (paper)", accesseval.DefaultParams},
+		{"frequency only", func(lp uint64) accesseval.Params {
+			p := accesseval.DefaultParams(lp)
+			p.Lsensing = 1 // sensing dimension collapsed
+			p.Threshold = 2
+			return p
+		}},
+	}
+	var out []AblationHLO
+	for _, rule := range rules {
+		o := core.DefaultOptions(core.FlexLevel, cfg.PE)
+		o.AccessEval = rule.params(o.SSD.FTL.LogicalPages)
+		r, err := core.NewRunner(o)
+		if err != nil {
+			return nil, err
+		}
+		m, err := r.Run(w)
+		if err != nil {
+			return nil, err
+		}
+		norm := 0.0
+		if ref.AvgResponse > 0 {
+			norm = m.AvgResponse / ref.AvgResponse
+		}
+		out = append(out, AblationHLO{
+			Rule:       rule.name,
+			Norm:       norm,
+			Migrations: m.Migrations,
+			WriteAmp:   m.WriteAmp,
+		})
+	}
+	return out, nil
+}
+
+// PrintHLOAblation renders the identification-rule comparison.
+func PrintHLOAblation(w io.Writer, rows []AblationHLO) {
+	fmt.Fprintln(w, "Ablation — HLO identification rule (fin-2, norm vs LDPC-in-SSD)")
+	fmt.Fprintf(w, "  %-24s %8s %12s %10s\n", "rule", "norm", "migrations", "write amp")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-24s %8.2f %12d %10.2f\n", r.Rule, r.Norm, r.Migrations, r.WriteAmp)
+	}
+}
+
+// AblationPool is one point of the ReducedCell pool-size sweep.
+type AblationPool struct {
+	PoolFraction float64 // of logical space
+	Norm         float64 // response vs LDPC-in-SSD
+	CapacityLoss float64
+}
+
+// PoolSweep varies the ReducedCell pool capacity (the paper fixes it at
+// a quarter of the logical space — 64GB of 256GB) and reports the
+// speedup/capacity trade-off on web-1.
+func PoolSweep(cfg SimConfig, fractions []float64) ([]AblationPool, error) {
+	opts := core.DefaultOptions(core.FlexLevel, cfg.PE)
+	w, err := trace.ByName("web-1", cfg.Requests, opts.SSD.FTL.LogicalPages, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	refRunner, err := core.NewRunner(core.DefaultOptions(core.LDPCInSSD, cfg.PE))
+	if err != nil {
+		return nil, err
+	}
+	ref, err := refRunner.Run(w)
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationPool
+	for _, frac := range fractions {
+		o := core.DefaultOptions(core.FlexLevel, cfg.PE)
+		o.AccessEval = accesseval.DefaultParams(o.SSD.FTL.LogicalPages)
+		o.AccessEval.PoolPages = int(float64(o.SSD.FTL.LogicalPages) * frac)
+		r, err := core.NewRunner(o)
+		if err != nil {
+			return nil, err
+		}
+		m, err := r.Run(w)
+		if err != nil {
+			return nil, err
+		}
+		norm := 0.0
+		if ref.AvgResponse > 0 {
+			norm = m.AvgResponse / ref.AvgResponse
+		}
+		out = append(out, AblationPool{
+			PoolFraction: frac,
+			Norm:         norm,
+			CapacityLoss: m.CapacityLoss,
+		})
+	}
+	return out, nil
+}
+
+// PrintPoolSweep renders the pool-size trade-off.
+func PrintPoolSweep(w io.Writer, rows []AblationPool) {
+	fmt.Fprintln(w, "Ablation — ReducedCell pool size sweep (web-1, norm vs LDPC-in-SSD)")
+	fmt.Fprintf(w, "  %-14s %8s %14s\n", "pool fraction", "norm", "capacity loss")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %13.1f%% %8.2f %13.2f%%\n", 100*r.PoolFraction, r.Norm, 100*r.CapacityLoss)
+	}
+}
+
+// AblationScrub compares retention-relaxation scrubbing (rewrite every
+// soft-sensed page; related work [10]) against FlexLevel.
+type AblationScrub struct {
+	Scheme       string
+	Norm         float64 // response vs plain LDPC-in-SSD
+	WriteAmp     float64
+	CapacityLoss float64
+}
+
+// ScrubAblation runs web-1 under plain LDPC-in-SSD, LDPC-in-SSD with
+// aggressive scrubbing, and FlexLevel: scrubbing also removes repeated
+// soft-sensed reads, but pays in write traffic and wear instead of
+// capacity.
+func ScrubAblation(cfg SimConfig) ([]AblationScrub, error) {
+	opts := core.DefaultOptions(core.LDPCInSSD, cfg.PE)
+	w, err := trace.ByName("web-1", cfg.Requests, opts.SSD.FTL.LogicalPages, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	run := func(o core.Options) (core.Metrics, error) {
+		r, err := core.NewRunner(o)
+		if err != nil {
+			return core.Metrics{}, err
+		}
+		return r.Run(w)
+	}
+	ref, err := run(core.DefaultOptions(core.LDPCInSSD, cfg.PE))
+	if err != nil {
+		return nil, err
+	}
+	scrubOpts := core.DefaultOptions(core.LDPCInSSD, cfg.PE)
+	scrubOpts.SSD.RefreshAboveLevels = 1
+	scrub, err := run(scrubOpts)
+	if err != nil {
+		return nil, err
+	}
+	flex, err := run(core.DefaultOptions(core.FlexLevel, cfg.PE))
+	if err != nil {
+		return nil, err
+	}
+	norm := func(m core.Metrics) float64 {
+		if ref.AvgResponse == 0 {
+			return 0
+		}
+		return m.AvgResponse / ref.AvgResponse
+	}
+	return []AblationScrub{
+		{Scheme: "LDPC-in-SSD", Norm: 1, WriteAmp: ref.WriteAmp, CapacityLoss: ref.CapacityLoss},
+		{Scheme: "+ scrubbing [10]", Norm: norm(scrub), WriteAmp: scrubWA(scrub), CapacityLoss: scrub.CapacityLoss},
+		{Scheme: "FlexLevel", Norm: norm(flex), WriteAmp: scrubWA(flex), CapacityLoss: flex.CapacityLoss},
+	}, nil
+}
+
+// scrubWA folds refresh programs into the write-amplification view:
+// TotalPrograms already includes migrations/refreshes, so report
+// programs per user write directly.
+func scrubWA(m core.Metrics) float64 {
+	if m.UserWrites == 0 {
+		return float64(m.TotalPrograms)
+	}
+	return float64(m.TotalPrograms) / float64(m.UserWrites)
+}
+
+// PrintScrubAblation renders the comparison.
+func PrintScrubAblation(w io.Writer, rows []AblationScrub) {
+	fmt.Fprintln(w, "Ablation — scrubbing (retention relaxation [10]) vs FlexLevel (web-1)")
+	fmt.Fprintf(w, "  %-18s %8s %12s %14s\n", "scheme", "norm", "programs/wr", "capacity loss")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %8.2f %12.1f %13.2f%%\n", r.Scheme, r.Norm, r.WriteAmp, 100*r.CapacityLoss)
+	}
+	fmt.Fprintln(w, "  (scrubbing buys read speed with writes and wear; FlexLevel with bounded capacity)")
+}
+
+// AblationChannels reports FlexLevel's gain at different channel counts.
+type AblationChannels struct {
+	Channels  int
+	Reduction float64 // FlexLevel vs LDPC-in-SSD on web-1
+}
+
+// ChannelAblation asks whether channel parallelism hides the soft-
+// sensing latency FlexLevel removes.
+func ChannelAblation(cfg SimConfig, channelCounts []int) ([]AblationChannels, error) {
+	opts := core.DefaultOptions(core.LDPCInSSD, cfg.PE)
+	w, err := trace.ByName("web-1", cfg.Requests, opts.SSD.FTL.LogicalPages, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationChannels
+	for _, ch := range channelCounts {
+		run := func(sys core.System) (core.Metrics, error) {
+			o := core.DefaultOptions(sys, cfg.PE)
+			o.SSD.Channels = ch
+			r, err := core.NewRunner(o)
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			return r.Run(w)
+		}
+		ref, err := run(core.LDPCInSSD)
+		if err != nil {
+			return nil, err
+		}
+		flex, err := run(core.FlexLevel)
+		if err != nil {
+			return nil, err
+		}
+		red := 0.0
+		if ref.AvgResponse > 0 {
+			red = 1 - flex.AvgResponse/ref.AvgResponse
+		}
+		out = append(out, AblationChannels{Channels: ch, Reduction: red})
+	}
+	return out, nil
+}
+
+// PrintChannelAblation renders the sweep.
+func PrintChannelAblation(w io.Writer, rows []AblationChannels) {
+	fmt.Fprintln(w, "Ablation — FlexLevel gain vs channel parallelism (web-1, vs LDPC-in-SSD)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %2d channels: %5.0f%% reduction\n", r.Channels, 100*r.Reduction)
+	}
+}
+
+// MeanNorm is a small helper shared by benches.
+func MeanNorm(xs []float64) float64 { return stats.Mean(xs) }

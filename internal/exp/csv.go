@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"flexlevel/internal/core"
+)
+
+// CSV artifact writers: each experiment can emit a plotting-friendly
+// CSV alongside the human-readable text, so figures can be regenerated
+// with any external tool.
+
+// WriteFig5CSV emits scheme,c2c_ber.
+func WriteFig5CSV(w io.Writer, rows []Fig5Row) error {
+	if _, err := fmt.Fprintln(w, "scheme,c2c_ber"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%.6e\n", r.Scheme, r.C2CBER); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable4CSV emits pe,scheme,hours,ber in long form.
+func WriteTable4CSV(w io.Writer, cells []Table4Cell) error {
+	if _, err := fmt.Fprintln(w, "pe,scheme,hours,ber"); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		for ti, t := range RetentionTimes {
+			if _, err := fmt.Fprintf(w, "%d,%s,%.0f,%.6e\n", c.PE, c.Scheme, t.Hours, c.BER[ti]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTable5CSV emits pe,hours,levels in long form.
+func WriteTable5CSV(w io.Writer, rows []Table5Row) error {
+	if _, err := fmt.Fprintln(w, "pe,hours,levels"); err != nil {
+		return err
+	}
+	hours := []float64{0, 24, 48, 168, 720}
+	for _, r := range rows {
+		for i, h := range hours {
+			if _, err := fmt.Fprintf(w, "%d,%.0f,%d\n", r.PE, h, r.Levels[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFig6aCSV emits workload,system,avg_response_s,norm_vs_ldpcinssd,
+// capacity_loss,total_programs,erases,migrations.
+func WriteFig6aCSV(w io.Writer, d *Fig6aData) error {
+	if _, err := fmt.Fprintln(w, "workload,system,avg_response_s,norm_vs_ldpcinssd,capacity_loss,total_programs,erases,migrations"); err != nil {
+		return err
+	}
+	ri := d.systemIndex(core.LDPCInSSD)
+	for wi, name := range d.Workloads {
+		ref := d.Cells[wi][ri].AvgResponse
+		for si, sys := range d.Systems {
+			m := d.Cells[wi][si]
+			norm := 0.0
+			if ref > 0 {
+				norm = m.AvgResponse / ref
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%.9f,%.4f,%.5f,%d,%d,%d\n",
+				name, sys, m.AvgResponse, norm, m.CapacityLoss,
+				m.TotalPrograms, m.Erases, m.Migrations); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFig7CSV emits workload,write_increase,erase_increase,lifetime.
+func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
+	if _, err := fmt.Fprintln(w, "workload,write_increase,erase_increase,lifetime"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%.4f,%.4f,%.4f\n",
+			r.Workload, r.WriteIncrease, r.EraseIncrease, r.Lifetime); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHardECCStudy(t *testing.T) {
+	rows, err := HardECCStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	bch, hard, soft := rows[0], rows[1], rows[2]
+	// The paper's §1 motivation: hard-decision ECC (BCH and hard LDPC)
+	// tops out well below the 1e-2 raw BER of worn 2Xnm MLC...
+	if bch.MaxBER >= 1e-2 {
+		t.Errorf("BCH tolerates %.2e, should be below 1e-2", bch.MaxBER)
+	}
+	if hard.MaxBER >= 1e-2 {
+		t.Errorf("hard LDPC tolerates %.2e, should be below 1e-2", hard.MaxBER)
+	}
+	// ...while soft-decision LDPC with 6 extra levels stretches past it.
+	if soft.MaxBER <= 1e-2 {
+		t.Errorf("soft LDPC tolerates only %.2e, want above 1e-2", soft.MaxBER)
+	}
+	// Sanity: more correctable bits, more tolerable BER.
+	if !(soft.MaxBER > bch.MaxBER && soft.MaxBER > hard.MaxBER) {
+		t.Error("capability ordering broken")
+	}
+	var sb strings.Builder
+	PrintHardECC(&sb, rows)
+	if !strings.Contains(sb.String(), "BCH") {
+		t.Error("renderer broken")
+	}
+}
+
+func TestRetentionShares(t *testing.T) {
+	rows, avg, err := RetentionShares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(PEPoints)*len(RetentionTimes) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if len(avg) != 3 {
+		t.Fatalf("%d average shares, want 3 levels", len(avg))
+	}
+	// §4.2's observation: the top level dominates, level 1 is a distant
+	// second, the erased level contributes nothing.
+	if !(avg[2] > 0.5 && avg[2] > avg[1] && avg[1] > avg[0]) {
+		t.Errorf("share ordering broken: %v (paper: 78%%/15%%)", avg)
+	}
+	if avg[0] != 0 {
+		t.Errorf("erased level share %g, want 0", avg[0])
+	}
+	sum := avg[0] + avg[1] + avg[2]
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("shares sum to %g", sum)
+	}
+	var sb strings.Builder
+	PrintRetentionShares(&sb, rows, avg)
+	if !strings.Contains(sb.String(), "78%") {
+		t.Error("renderer broken")
+	}
+}

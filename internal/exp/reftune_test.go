@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRefTuneAblation(t *testing.T) {
+	rows, err := RefTuneAblation(6000, 720)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	base, tuned, la := rows[0], rows[1], rows[2]
+	// Tuning helps substantially...
+	if tuned.BER >= base.BER/2 {
+		t.Errorf("tuning gained too little: %.3e vs %.3e", tuned.BER, base.BER)
+	}
+	if tuned.Levels >= base.Levels {
+		t.Errorf("tuned levels %d not below baseline %d", tuned.Levels, base.Levels)
+	}
+	// ...but cannot reach hard-decision territory, while LevelAdjust can.
+	if tuned.Levels == 0 {
+		t.Error("tuning alone eliminated soft sensing; the ablation's point collapsed")
+	}
+	if la.Levels != 0 {
+		t.Errorf("LevelAdjust needs %d levels at the corner, want 0", la.Levels)
+	}
+	if la.BER >= tuned.BER {
+		t.Error("LevelAdjust should beat tuning on raw BER")
+	}
+	var sb strings.Builder
+	PrintRefTune(&sb, 6000, 720, rows)
+	if !strings.Contains(sb.String(), "ref tuning") {
+		t.Error("renderer broken")
+	}
+}

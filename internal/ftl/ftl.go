@@ -1,0 +1,465 @@
+// Package ftl implements the flash translation layer of the FlexLevel
+// storage system: a page-mapping FTL with greedy garbage collection,
+// over-provisioning, and two block pools — normal-state blocks (full
+// MLC capacity) and reduced-state blocks (LevelAdjust: only 3/4 of the
+// page slots usable, paper §4.3). Block state switches happen at erase
+// boundaries, mirroring the device constraint.
+package ftl
+
+import (
+	"fmt"
+)
+
+// BlockState mirrors the LevelAdjust cell state at block granularity.
+type BlockState int
+
+const (
+	// NormalState blocks hold full-capacity MLC pages.
+	NormalState BlockState = iota
+	// ReducedState blocks hold LevelAdjust pages at 75% density.
+	ReducedState
+)
+
+func (s BlockState) String() string {
+	if s == ReducedState {
+		return "reduced"
+	}
+	return "normal"
+}
+
+// Config sizes the FTL.
+type Config struct {
+	LogicalPages  uint64
+	PagesPerBlock int
+	Blocks        int
+	// ReducedFactor is the usable fraction of a reduced block's pages
+	// (ReduceCode stores 3 bits where normal cells store 4).
+	ReducedFactor float64
+	// GCThreshold triggers garbage collection when the free-block count
+	// drops below it; GCTarget is where collection stops.
+	GCThreshold int
+	GCTarget    int
+	// InitialPE pre-ages every block to the experiment's P/E point.
+	InitialPE int
+}
+
+// DefaultConfig returns the scaled evaluation system: a 512MB logical
+// space (1/512 of the paper's 256GB) at 16KB pages with 27%
+// over-provisioning (physical = logical / 0.73), 64-page (1MB) blocks.
+func DefaultConfig() Config {
+	logical := uint64(32768) // pages
+	const ppb = 64
+	phys := int(float64(logical)/0.73) + 1
+	blocks := (phys + ppb - 1) / ppb
+	return Config{
+		LogicalPages:  logical,
+		PagesPerBlock: ppb,
+		Blocks:        blocks,
+		ReducedFactor: 0.75,
+		GCThreshold:   4,
+		GCTarget:      5,
+		InitialPE:     0,
+	}
+}
+
+// Validate reports sizing problems.
+func (c Config) Validate() error {
+	if c.LogicalPages == 0 {
+		return fmt.Errorf("ftl: zero logical pages")
+	}
+	if c.PagesPerBlock <= 0 || c.Blocks <= 0 {
+		return fmt.Errorf("ftl: non-positive geometry %d pages/block, %d blocks", c.PagesPerBlock, c.Blocks)
+	}
+	if c.ReducedFactor <= 0 || c.ReducedFactor > 1 {
+		return fmt.Errorf("ftl: reduced factor %g out of (0,1]", c.ReducedFactor)
+	}
+	phys := uint64(c.PagesPerBlock) * uint64(c.Blocks)
+	if phys <= c.LogicalPages {
+		return fmt.Errorf("ftl: physical pages %d not above logical %d (no over-provisioning)", phys, c.LogicalPages)
+	}
+	if c.GCThreshold < 2 {
+		return fmt.Errorf("ftl: GC threshold %d too small", c.GCThreshold)
+	}
+	if c.GCTarget <= c.GCThreshold {
+		return fmt.Errorf("ftl: GC target %d must exceed threshold %d", c.GCTarget, c.GCThreshold)
+	}
+	if c.InitialPE < 0 {
+		return fmt.Errorf("ftl: negative initial P/E")
+	}
+	return nil
+}
+
+// OpCount tallies the physical operations one FTL call performed, for
+// the timing simulator to charge.
+type OpCount struct {
+	Programs  int // page programs (user, GC copies and migrations)
+	CopyReads int // page reads performed to relocate data
+	Erases    int
+	GCRuns    int
+}
+
+// Add accumulates other into o.
+func (o *OpCount) Add(other OpCount) {
+	o.Programs += other.Programs
+	o.CopyReads += other.CopyReads
+	o.Erases += other.Erases
+	o.GCRuns += other.GCRuns
+}
+
+// Stats are cumulative FTL counters.
+type Stats struct {
+	UserPrograms      int64
+	GCPrograms        int64
+	MigrationPrograms int64
+	CopyReads         int64
+	Erases            int64
+	GCRuns            int64
+}
+
+// TotalPrograms returns all page programs performed.
+func (s Stats) TotalPrograms() int64 {
+	return s.UserPrograms + s.GCPrograms + s.MigrationPrograms
+}
+
+// WriteAmplification returns total programs per user program.
+func (s Stats) WriteAmplification() float64 {
+	if s.UserPrograms == 0 {
+		return 1
+	}
+	return float64(s.TotalPrograms()) / float64(s.UserPrograms)
+}
+
+const unmapped = int64(-1)
+
+type activeBlock struct {
+	block    int
+	nextPage int
+}
+
+// FTL is the page-mapping flash translation layer.
+type FTL struct {
+	cfg Config
+
+	l2p        []int64 // lpn -> ppn
+	p2l        []int64 // ppn -> lpn (unmapped = free or invalid)
+	blockValid []int
+	blockUsed  []int // pages programmed in block (valid + invalid)
+	blockState []BlockState
+	blockPE    []int
+	free       []int // free (erased) block indexes, LIFO
+
+	active map[BlockState]*activeBlock
+
+	stats     Stats
+	wearSwaps int64
+
+	// OnRelocate, when set, is called for every page the FTL moves
+	// (GC copies), letting the caller refresh per-page metadata such as
+	// program timestamps.
+	OnRelocate func(lpn uint64, oldPPN, newPPN int64)
+	// OnErase, when set, is called whenever a block is erased, letting
+	// read-retry policies drop per-block state.
+	OnErase func(block int)
+}
+
+// New builds an FTL with every block free and in the normal state.
+func New(cfg Config) (*FTL, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &FTL{cfg: cfg}
+	phys := cfg.PagesPerBlock * cfg.Blocks
+	f.l2p = make([]int64, cfg.LogicalPages)
+	for i := range f.l2p {
+		f.l2p[i] = unmapped
+	}
+	f.p2l = make([]int64, phys)
+	for i := range f.p2l {
+		f.p2l[i] = unmapped
+	}
+	f.blockValid = make([]int, cfg.Blocks)
+	f.blockUsed = make([]int, cfg.Blocks)
+	f.blockState = make([]BlockState, cfg.Blocks)
+	f.blockPE = make([]int, cfg.Blocks)
+	for i := range f.blockPE {
+		f.blockPE[i] = cfg.InitialPE
+	}
+	f.free = make([]int, 0, cfg.Blocks)
+	for b := cfg.Blocks - 1; b >= 0; b-- {
+		f.free = append(f.free, b)
+	}
+	f.active = map[BlockState]*activeBlock{}
+	return f, nil
+}
+
+// Config returns the FTL's configuration.
+func (f *FTL) Config() Config { return f.cfg }
+
+// Stats returns cumulative counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// FreeBlocks returns the current free-block count.
+func (f *FTL) FreeBlocks() int { return len(f.free) }
+
+// BlockPE returns the P/E count of block b.
+func (f *FTL) BlockPE(b int) int { return f.blockPE[b] }
+
+// MeanPE returns the average block P/E count.
+func (f *FTL) MeanPE() float64 {
+	sum := 0
+	for _, pe := range f.blockPE {
+		sum += pe
+	}
+	return float64(sum) / float64(len(f.blockPE))
+}
+
+// usablePages returns the programmable page slots of a block in state s.
+func (f *FTL) usablePages(s BlockState) int {
+	if s == ReducedState {
+		return int(float64(f.cfg.PagesPerBlock) * f.cfg.ReducedFactor)
+	}
+	return f.cfg.PagesPerBlock
+}
+
+// ppn computes the physical page number.
+func (f *FTL) ppn(block, page int) int64 {
+	return int64(block*f.cfg.PagesPerBlock + page)
+}
+
+// blockOf returns the block holding ppn.
+func (f *FTL) blockOf(ppn int64) int { return int(ppn) / f.cfg.PagesPerBlock }
+
+// Lookup resolves an LPN to its physical page and block state.
+func (f *FTL) Lookup(lpn uint64) (ppn int64, state BlockState, ok bool) {
+	if lpn >= f.cfg.LogicalPages {
+		return 0, NormalState, false
+	}
+	p := f.l2p[lpn]
+	if p == unmapped {
+		return 0, NormalState, false
+	}
+	return p, f.blockState[f.blockOf(p)], true
+}
+
+// Mapped reports whether the LPN currently has physical storage.
+func (f *FTL) Mapped(lpn uint64) bool {
+	return lpn < f.cfg.LogicalPages && f.l2p[lpn] != unmapped
+}
+
+// ReducedPages returns how many logical pages currently live in reduced-
+// state blocks.
+func (f *FTL) ReducedPages() int {
+	n := 0
+	for b := 0; b < f.cfg.Blocks; b++ {
+		if f.blockState[b] == ReducedState {
+			n += f.blockValid[b]
+		}
+	}
+	return n
+}
+
+// CapacityLoss returns the paper's §5 capacity-loss metric: the density
+// penalty of the pages held in reduced state as a fraction of logical
+// capacity, loss = (1 - ReducedFactor) × reducedPages / logicalPages.
+// Storing everything reduced costs 25%; the paper's 64GB pool on 256GB
+// costs 6%.
+func (f *FTL) CapacityLoss() float64 {
+	return (1 - f.cfg.ReducedFactor) * float64(f.ReducedPages()) / float64(f.cfg.LogicalPages)
+}
+
+// Write stores lpn into a block of the requested state, running GC as
+// needed. It returns the new physical page and the operations performed.
+func (f *FTL) Write(lpn uint64, state BlockState) (int64, OpCount, error) {
+	var ops OpCount
+	if lpn >= f.cfg.LogicalPages {
+		return 0, ops, fmt.Errorf("ftl: lpn %d out of range", lpn)
+	}
+	f.invalidate(lpn)
+	newPPN, err := f.appendPage(lpn, state, &ops)
+	if err != nil {
+		return 0, ops, err
+	}
+	f.stats.UserPrograms++
+	ops.Programs++
+	f.maybeGC(&ops)
+	return newPPN, ops, nil
+}
+
+// Trim discards lpn's mapping (the block-device TRIM/discard command):
+// the physical page is invalidated without a rewrite, giving the
+// collector free garbage. Trimming an unmapped page is a no-op.
+func (f *FTL) Trim(lpn uint64) error {
+	if lpn >= f.cfg.LogicalPages {
+		return fmt.Errorf("ftl: trim lpn %d out of range", lpn)
+	}
+	f.invalidate(lpn)
+	return nil
+}
+
+// Migrate rewrites lpn into a block of the opposite pool (AccessEval's
+// normal <-> reduced conversion). It costs one copy read plus one
+// program, attributed to migration.
+func (f *FTL) Migrate(lpn uint64, state BlockState) (int64, OpCount, error) {
+	var ops OpCount
+	if !f.Mapped(lpn) {
+		return 0, ops, fmt.Errorf("ftl: migrate of unmapped lpn %d", lpn)
+	}
+	ops.CopyReads++
+	f.stats.CopyReads++
+	f.invalidate(lpn)
+	newPPN, err := f.appendPage(lpn, state, &ops)
+	if err != nil {
+		return 0, ops, err
+	}
+	f.stats.MigrationPrograms++
+	ops.Programs++
+	f.maybeGC(&ops)
+	return newPPN, ops, nil
+}
+
+func (f *FTL) invalidate(lpn uint64) {
+	old := f.l2p[lpn]
+	if old == unmapped {
+		return
+	}
+	f.p2l[old] = unmapped
+	f.blockValid[f.blockOf(old)]--
+	f.l2p[lpn] = unmapped
+}
+
+// appendPage places lpn on the active block of the given state,
+// allocating a fresh block when needed.
+func (f *FTL) appendPage(lpn uint64, state BlockState, ops *OpCount) (int64, error) {
+	ab := f.active[state]
+	if ab == nil || ab.nextPage >= f.usablePages(state) {
+		b, err := f.allocBlock(state)
+		if err != nil {
+			return 0, err
+		}
+		ab = &activeBlock{block: b}
+		f.active[state] = ab
+	}
+	p := f.ppn(ab.block, ab.nextPage)
+	ab.nextPage++
+	f.blockUsed[ab.block]++
+	f.l2p[lpn] = p
+	f.p2l[p] = int64(lpn)
+	f.blockValid[ab.block]++
+	return p, nil
+}
+
+// allocBlock hands out the least-worn free block (dynamic wear
+// leveling: erased blocks rotate by wear instead of recency).
+func (f *FTL) allocBlock(state BlockState) (int, error) {
+	if len(f.free) == 0 {
+		return 0, fmt.Errorf("ftl: out of free blocks (logical space overcommitted for the %v pool)", state)
+	}
+	best := 0
+	for i := 1; i < len(f.free); i++ {
+		if f.blockPE[f.free[i]] < f.blockPE[f.free[best]] {
+			best = i
+		}
+	}
+	b := f.free[best]
+	f.free[best] = f.free[len(f.free)-1]
+	f.free = f.free[:len(f.free)-1]
+	f.blockState[b] = state // erased block: state switch is legal
+	f.blockUsed[b] = 0
+	return b, nil
+}
+
+// maybeGC reclaims blocks greedily until the free count reaches the
+// target, whenever it has fallen below the threshold.
+func (f *FTL) maybeGC(ops *OpCount) {
+	if len(f.free) >= f.cfg.GCThreshold {
+		return
+	}
+	f.stats.GCRuns++
+	ops.GCRuns++
+	for len(f.free) < f.cfg.GCTarget {
+		victim := f.pickVictim()
+		if victim < 0 {
+			return // nothing reclaimable
+		}
+		if !f.reclaim(victim, ops) {
+			return // relocation stalled; avoid spinning
+		}
+	}
+}
+
+// pickVictim returns the fully-written non-active block with the fewest
+// valid pages, or -1. Blocks with no invalid pages are skipped: erasing
+// them reclaims nothing and would loop the collector forever.
+func (f *FTL) pickVictim() int {
+	best, bestValid := -1, 1<<31
+	for b := 0; b < f.cfg.Blocks; b++ {
+		usable := f.usablePages(f.blockState[b])
+		if f.isActive(b) || f.blockUsed[b] < usable {
+			continue // still open or free
+		}
+		if f.blockUsed[b] == 0 || f.blockValid[b] >= usable {
+			continue // free, or fully valid: no garbage to reclaim
+		}
+		if f.blockValid[b] < bestValid {
+			best, bestValid = b, f.blockValid[b]
+		}
+	}
+	return best
+}
+
+func (f *FTL) isActive(b int) bool {
+	for _, ab := range f.active {
+		if ab != nil && ab.block == b {
+			return true
+		}
+	}
+	return false
+}
+
+// reclaim relocates the victim's valid pages (same state pool) and
+// erases it. It reports false when relocation stalled (no free blocks
+// for the copies), leaving all mappings intact.
+func (f *FTL) reclaim(victim int, ops *OpCount) bool {
+	state := f.blockState[victim]
+	base := f.ppn(victim, 0)
+	for p := 0; p < f.cfg.PagesPerBlock; p++ {
+		old := base + int64(p)
+		lpn := f.p2l[old]
+		if lpn == unmapped {
+			continue
+		}
+		// Relocate: invalidate then append to the same pool.
+		f.p2l[old] = unmapped
+		f.blockValid[victim]--
+		f.l2p[lpn] = unmapped
+		newPPN, err := f.appendPage(uint64(lpn), state, ops)
+		if err != nil {
+			// Re-establish the old mapping; the caller sees a stuck FTL
+			// rather than lost data.
+			f.p2l[old] = lpn
+			f.blockValid[victim]++
+			f.l2p[lpn] = old
+			return false
+		}
+		ops.CopyReads++
+		ops.Programs++
+		f.stats.CopyReads++
+		f.stats.GCPrograms++
+		if f.OnRelocate != nil {
+			f.OnRelocate(uint64(lpn), old, newPPN)
+		}
+	}
+	f.blockUsed[victim] = 0
+	f.blockPE[victim]++
+	f.stats.Erases++
+	ops.Erases++
+	f.free = append(f.free, victim)
+	if f.OnErase != nil {
+		f.OnErase(victim)
+	}
+	return true
+}
+
+// ResetStats zeroes the cumulative counters (used after preconditioning
+// a device so experiments measure only the workload itself).
+func (f *FTL) ResetStats() { f.stats = Stats{} }

@@ -1,0 +1,148 @@
+// Package hotdata implements the multiple-bloom-filter read-frequency
+// identifier FlexLevel's AccessEval relies on (paper reference [13],
+// Park & Du, FAST'11): V rotating bloom filters capture recency-weighted
+// access frequency with bounded memory and automatic decay.
+package hotdata
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Identifier tracks approximate read frequency per LPN.
+type Identifier struct {
+	filters  [][]uint64 // V bit arrays
+	bits     uint64     // bits per filter
+	hashes   int
+	window   int // accesses between rotations
+	accesses int
+	current  int // filter receiving inserts
+}
+
+// Config parameterizes an Identifier.
+type Config struct {
+	Filters       int // V: number of bloom filters (max frequency level)
+	BitsPerFilter int // size of each filter in bits
+	Hashes        int // hash functions per insert
+	Window        int // accesses between filter rotations (decay rate)
+}
+
+// DefaultConfig sizes the identifier for a ~64Ki-page working set.
+func DefaultConfig() Config {
+	return Config{Filters: 4, BitsPerFilter: 1 << 18, Hashes: 2, Window: 4096}
+}
+
+// New builds an Identifier.
+func New(cfg Config) (*Identifier, error) {
+	if cfg.Filters < 2 {
+		return nil, fmt.Errorf("hotdata: need at least 2 filters, have %d", cfg.Filters)
+	}
+	if cfg.BitsPerFilter < 64 {
+		return nil, fmt.Errorf("hotdata: filter size %d too small", cfg.BitsPerFilter)
+	}
+	if cfg.Hashes < 1 {
+		return nil, fmt.Errorf("hotdata: need at least 1 hash, have %d", cfg.Hashes)
+	}
+	if cfg.Window < 1 {
+		return nil, fmt.Errorf("hotdata: window %d too small", cfg.Window)
+	}
+	id := &Identifier{
+		filters: make([][]uint64, cfg.Filters),
+		bits:    uint64(cfg.BitsPerFilter),
+		hashes:  cfg.Hashes,
+		window:  cfg.Window,
+	}
+	words := (cfg.BitsPerFilter + 63) / 64
+	for i := range id.filters {
+		id.filters[i] = make([]uint64, words)
+	}
+	return id, nil
+}
+
+// hash returns the i-th bit position for lpn (double hashing over FNV).
+func (id *Identifier) hash(lpn uint64, i int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for b := 0; b < 8; b++ {
+		buf[b] = byte(lpn >> (8 * b))
+	}
+	h.Write(buf[:])
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31
+	return (h1 + uint64(i)*h2) % id.bits
+}
+
+// Record notes one read access to lpn.
+func (id *Identifier) Record(lpn uint64) {
+	f := id.filters[id.current]
+	for i := 0; i < id.hashes; i++ {
+		pos := id.hash(lpn, i)
+		f[pos/64] |= 1 << (pos % 64)
+	}
+	id.accesses++
+	if id.accesses%id.window == 0 {
+		id.rotate()
+	}
+}
+
+// rotate makes the oldest filter current and clears it.
+func (id *Identifier) rotate() {
+	id.current = (id.current + 1) % len(id.filters)
+	f := id.filters[id.current]
+	for i := range f {
+		f[i] = 0
+	}
+}
+
+// contains reports whether filter f claims lpn.
+func (id *Identifier) contains(f []uint64, lpn uint64) bool {
+	for i := 0; i < id.hashes; i++ {
+		pos := id.hash(lpn, i)
+		if f[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Frequency returns the number of filters containing lpn: an
+// approximate, recency-decayed access count in [0, Filters].
+func (id *Identifier) Frequency(lpn uint64) int {
+	n := 0
+	for _, f := range id.filters {
+		if id.contains(f, lpn) {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxFrequency returns the largest value Frequency can report.
+func (id *Identifier) MaxFrequency() int { return len(id.filters) }
+
+// FreqLevel buckets the frequency into levels 1..nLevels (the paper's
+// L_f). Frequency 0 maps to level 1 (cold); the level thresholds divide
+// [1, MaxFrequency] evenly, so with nLevels=2 a page seen in at least
+// half the filters counts as hot.
+func (id *Identifier) FreqLevel(lpn uint64, nLevels int) int {
+	if nLevels < 1 {
+		return 1
+	}
+	f := id.Frequency(lpn)
+	lvl := 1 + f*nLevels/id.MaxFrequency()
+	if lvl > nLevels {
+		lvl = nLevels
+	}
+	return lvl
+}
+
+// Reset clears all filters.
+func (id *Identifier) Reset() {
+	for _, f := range id.filters {
+		for i := range f {
+			f[i] = 0
+		}
+	}
+	id.accesses = 0
+	id.current = 0
+}

@@ -1,0 +1,139 @@
+package hotdata
+
+import (
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Filters: 1, BitsPerFilter: 1024, Hashes: 2, Window: 64},
+		{Filters: 4, BitsPerFilter: 32, Hashes: 2, Window: 64},
+		{Filters: 4, BitsPerFilter: 1024, Hashes: 0, Window: 64},
+		{Filters: 4, BitsPerFilter: 1024, Hashes: 2, Window: 0},
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestFrequencyGrowsWithAccesses(t *testing.T) {
+	id, err := New(Config{Filters: 4, BitsPerFilter: 1 << 16, Hashes: 2, Window: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hot = uint64(42)
+	if f := id.Frequency(hot); f != 0 {
+		t.Errorf("fresh identifier reports frequency %d, want 0", f)
+	}
+	// Touch the hot page across several windows, interleaved with cold
+	// traffic to advance the rotation.
+	for w := 0; w < 4; w++ {
+		id.Record(hot)
+		for i := 0; i < 99; i++ {
+			id.Record(uint64(1000 + w*100 + i))
+		}
+	}
+	if f := id.Frequency(hot); f < 3 {
+		t.Errorf("hot page frequency %d after 4 windows, want >= 3", f)
+	}
+	// A page touched once long ago decays to low frequency.
+	if f := id.Frequency(1000); f > 2 {
+		t.Errorf("cold old page frequency %d, want <= 2", f)
+	}
+}
+
+func TestDecayByRotation(t *testing.T) {
+	id, err := New(Config{Filters: 3, BitsPerFilter: 1 << 16, Hashes: 2, Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const page = uint64(7)
+	id.Record(page)
+	if f := id.Frequency(page); f != 1 {
+		t.Fatalf("frequency after one access = %d, want 1", f)
+	}
+	// Push enough cold accesses to rotate through every filter.
+	for i := 0; i < 35; i++ {
+		id.Record(uint64(100 + i))
+	}
+	if f := id.Frequency(page); f != 0 {
+		t.Errorf("frequency after full rotation = %d, want 0 (decayed)", f)
+	}
+}
+
+func TestFreqLevelBuckets(t *testing.T) {
+	id, err := New(Config{Filters: 4, BitsPerFilter: 1 << 16, Hashes: 2, Window: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never-seen page: level 1 (cold).
+	if l := id.FreqLevel(9999, 2); l != 1 {
+		t.Errorf("cold page level %d, want 1", l)
+	}
+	// A page in every filter would be at the hottest level; with the
+	// giant window only the current filter fills, so force frequency by
+	// recording then rotating manually through windows is unavailable —
+	// instead check level bounds.
+	id.Record(5)
+	for n := 1; n <= 4; n++ {
+		l := id.FreqLevel(5, n)
+		if l < 1 || l > n {
+			t.Errorf("FreqLevel(.., %d) = %d out of [1,%d]", n, l, n)
+		}
+	}
+	if l := id.FreqLevel(5, 0); l != 1 {
+		t.Errorf("FreqLevel with 0 levels = %d, want 1", l)
+	}
+}
+
+func TestMaxFrequency(t *testing.T) {
+	id, err := New(Config{Filters: 5, BitsPerFilter: 1 << 12, Hashes: 2, Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.MaxFrequency() != 5 {
+		t.Errorf("MaxFrequency = %d, want 5", id.MaxFrequency())
+	}
+}
+
+func TestReset(t *testing.T) {
+	id, err := New(Config{Filters: 3, BitsPerFilter: 1 << 12, Hashes: 2, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		id.Record(3)
+	}
+	if id.Frequency(3) == 0 {
+		t.Fatal("expected nonzero frequency before reset")
+	}
+	id.Reset()
+	if f := id.Frequency(3); f != 0 {
+		t.Errorf("frequency after reset = %d, want 0", f)
+	}
+}
+
+func TestDistinguishesHotFromCold(t *testing.T) {
+	// End-to-end: with a skewed stream, the identifier must rank a hot
+	// page above a cold one most of the time.
+	id, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := uint64(1), uint64(999999)
+	for i := 0; i < 20000; i++ {
+		if i%3 == 0 {
+			id.Record(hot)
+		} else {
+			id.Record(uint64(1000 + i)) // cold spray
+		}
+	}
+	if hf, cf := id.Frequency(hot), id.Frequency(cold); hf <= cf {
+		t.Errorf("hot frequency %d not above cold %d", hf, cf)
+	}
+}

@@ -1,0 +1,81 @@
+package ldpc
+
+import "math/rand"
+
+// FERResult summarizes a frame-error-rate simulation.
+type FERResult struct {
+	Frames     int
+	FrameFails int
+	BitErrors  int64 // residual information-bit errors after decoding
+	TotalBits  int64
+	AvgIters   float64
+}
+
+// FER returns the frame error rate.
+func (r FERResult) FER() float64 {
+	if r.Frames == 0 {
+		return 0
+	}
+	return float64(r.FrameFails) / float64(r.Frames)
+}
+
+// BER returns the residual information bit error rate after decoding.
+func (r FERResult) BER() float64 {
+	if r.TotalBits == 0 {
+		return 0
+	}
+	return float64(r.BitErrors) / float64(r.TotalBits)
+}
+
+// frameDecoder is satisfied by both min-sum schedules.
+type frameDecoder interface {
+	Decode(llr []float64) (Result, error)
+}
+
+// SimulateFER Monte-Carlo-simulates the decoder over a binary symmetric
+// channel at crossover probability p: frames random codewords, each bit
+// flipped with probability p, decoded from ±log((1-p)/p) LLRs. It
+// drives the k(L) calibration (DESIGN.md) and the decoder-schedule
+// ablation.
+func SimulateFER(code *Code, dec frameDecoder, p float64, frames int, rng *rand.Rand) (FERResult, error) {
+	res := FERResult{Frames: frames}
+	mag := BSCLLR(p)
+	var iterSum int64
+	for f := 0; f < frames; f++ {
+		data := make([]byte, code.K)
+		for i := range data {
+			data[i] = byte(rng.Intn(2))
+		}
+		cw, err := code.Encode(data)
+		if err != nil {
+			return FERResult{}, err
+		}
+		noisy := make([]byte, len(cw))
+		copy(noisy, cw)
+		for i := range noisy {
+			if rng.Float64() < p {
+				noisy[i] ^= 1
+			}
+		}
+		out, err := dec.Decode(HardToLLR(noisy, mag))
+		if err != nil {
+			return FERResult{}, err
+		}
+		iterSum += int64(out.Iterations)
+		frameBad := false
+		for i := range data {
+			res.TotalBits++
+			if out.Data[i] != data[i] {
+				res.BitErrors++
+				frameBad = true
+			}
+		}
+		if frameBad || !out.OK {
+			res.FrameFails++
+		}
+	}
+	if frames > 0 {
+		res.AvgIters = float64(iterSum) / float64(frames)
+	}
+	return res, nil
+}

@@ -1,0 +1,384 @@
+package ldpc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testCode(t *testing.T) *Code {
+	t.Helper()
+	c, err := New(TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randomBits(n int, rng *rand.Rand) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(2))
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Params{
+		{InfoBits: 0, ParityBits: 8, ColWeight: 3},
+		{InfoBits: 8, ParityBits: 1, ColWeight: 3},
+		{InfoBits: 8, ParityBits: 8, ColWeight: 1},
+		{InfoBits: 8, ParityBits: 4, ColWeight: 5},
+	}
+	for i, p := range cases {
+		if _, err := New(p); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestCodeStructure(t *testing.T) {
+	c := testCode(t)
+	if c.N != c.K+c.M {
+		t.Errorf("N = %d, want %d", c.N, c.K+c.M)
+	}
+	if r := c.Rate(); r < 0.88 || r > 0.90 {
+		t.Errorf("rate = %g, want ~8/9", r)
+	}
+	// Every data column has exactly ColWeight distinct checks.
+	for v := 0; v < c.K; v++ {
+		seen := map[int32]bool{}
+		for _, ci := range c.varChecks[v] {
+			if seen[ci] {
+				t.Fatalf("var %d repeats check %d", v, ci)
+			}
+			seen[ci] = true
+		}
+		if len(c.varChecks[v]) != 4 {
+			t.Fatalf("var %d has %d checks, want 4", v, len(c.varChecks[v]))
+		}
+	}
+	// Accumulator columns: first and last have degree >= 1, middles 2.
+	for i := 0; i < c.M; i++ {
+		deg := len(c.varChecks[c.K+i])
+		want := 2
+		if i == c.M-1 {
+			want = 1
+		}
+		if deg != want {
+			t.Errorf("parity var %d degree %d, want %d", i, deg, want)
+		}
+	}
+	// Degree balancing keeps check degrees within a reasonable band.
+	min, max := c.CheckDegrees()
+	if max-min > 8 {
+		t.Errorf("check degrees range [%d,%d]; balancer too loose", min, max)
+	}
+	if c.Edges() != c.K*4+2*c.M-1 {
+		t.Errorf("edges = %d, want %d", c.Edges(), c.K*4+2*c.M-1)
+	}
+}
+
+func TestConstructionDeterministic(t *testing.T) {
+	a, err := New(TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.checkVars {
+		if len(a.checkVars[i]) != len(b.checkVars[i]) {
+			t.Fatal("construction not deterministic")
+		}
+		for j := range a.checkVars[i] {
+			if a.checkVars[i][j] != b.checkVars[i][j] {
+				t.Fatal("construction not deterministic")
+			}
+		}
+	}
+}
+
+func TestEncodeSatisfiesAllChecks(t *testing.T) {
+	c := testCode(t)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		data := randomBits(c.K, rng)
+		cw, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cw[:c.K], data) {
+			t.Fatal("encoding not systematic")
+		}
+		if !c.Syndrome(cw) {
+			t.Fatal("codeword fails parity checks")
+		}
+	}
+	if _, err := c.Encode(make([]byte, 3)); err == nil {
+		t.Error("wrong data length accepted")
+	}
+}
+
+func TestEncodeLinear(t *testing.T) {
+	// Code linearity: encode(a) xor encode(b) = encode(a xor b).
+	c := testCode(t)
+	rng := rand.New(rand.NewSource(5))
+	a, b := randomBits(c.K, rng), randomBits(c.K, rng)
+	xor := make([]byte, c.K)
+	for i := range xor {
+		xor[i] = a[i] ^ b[i]
+	}
+	ca, _ := c.Encode(a)
+	cb, _ := c.Encode(b)
+	cx, _ := c.Encode(xor)
+	for i := range cx {
+		if cx[i] != ca[i]^cb[i] {
+			t.Fatal("code is not linear")
+		}
+	}
+}
+
+func TestSyndromeRejects(t *testing.T) {
+	c := testCode(t)
+	rng := rand.New(rand.NewSource(13))
+	cw, _ := c.Encode(randomBits(c.K, rng))
+	cw[17] ^= 1
+	if c.Syndrome(cw) {
+		t.Error("syndrome accepted corrupted codeword")
+	}
+	if c.Syndrome(make([]byte, 3)) {
+		t.Error("syndrome accepted wrong length")
+	}
+}
+
+func TestSoftDecodeNoErrors(t *testing.T) {
+	c := testCode(t)
+	d := NewDecoder(c)
+	rng := rand.New(rand.NewSource(17))
+	cw, _ := c.Encode(randomBits(c.K, rng))
+	res, err := d.Decode(HardToLLR(cw, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal("clean codeword failed to decode")
+	}
+	if !bytes.Equal(res.Bits, cw) {
+		t.Fatal("clean decode altered the codeword")
+	}
+	if res.Iterations != 1 {
+		t.Errorf("clean decode took %d iterations, want 1", res.Iterations)
+	}
+}
+
+func TestSoftDecodeCorrectsErrors(t *testing.T) {
+	c := testCode(t)
+	d := NewDecoder(c)
+	rng := rand.New(rand.NewSource(23))
+	success := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		data := randomBits(c.K, rng)
+		cw, _ := c.Encode(data)
+		noisy := make([]byte, len(cw))
+		copy(noisy, cw)
+		// Flip ~0.6% of bits (7 of 1152): well within soft capability.
+		for i := 0; i < 7; i++ {
+			noisy[rng.Intn(c.N)] ^= 1
+		}
+		res, err := d.Decode(HardToLLR(noisy, BSCLLR(0.006)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OK && bytes.Equal(res.Data, data) {
+			success++
+		}
+	}
+	if success < trials-2 {
+		t.Errorf("soft decode corrected %d/%d, want >= %d", success, trials, trials-2)
+	}
+}
+
+func TestSoftDecodeFailsAtHighBER(t *testing.T) {
+	c := testCode(t)
+	d := NewDecoder(c)
+	rng := rand.New(rand.NewSource(29))
+	failures := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		cw, _ := c.Encode(randomBits(c.K, rng))
+		noisy := make([]byte, len(cw))
+		copy(noisy, cw)
+		// Flip 8% of bits: far beyond any rate-8/9 code's capability.
+		for i := 0; i < c.N/12; i++ {
+			noisy[rng.Intn(c.N)] ^= 1
+		}
+		res, err := d.Decode(HardToLLR(noisy, BSCLLR(0.08)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK || !bytes.Equal(res.Bits, cw) {
+			failures++
+		}
+	}
+	if failures < trials/2 {
+		t.Errorf("decode 'succeeded' on %d/%d hopeless inputs", trials-failures, trials)
+	}
+}
+
+func TestSoftLLRMagnitudeMatters(t *testing.T) {
+	// Erased/weak positions (LLR 0) around the flips should still let
+	// the decoder converge thanks to the strong rest.
+	c := testCode(t)
+	d := NewDecoder(c)
+	rng := rand.New(rand.NewSource(31))
+	data := randomBits(c.K, rng)
+	cw, _ := c.Encode(data)
+	llr := HardToLLR(cw, 6)
+	// Erase 30 random positions entirely.
+	for i := 0; i < 30; i++ {
+		llr[rng.Intn(c.N)] = 0
+	}
+	res, err := d.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || !bytes.Equal(res.Data, data) {
+		t.Error("decoder failed to fill 30 erasures")
+	}
+}
+
+func TestHardDecoder(t *testing.T) {
+	c := testCode(t)
+	h := NewHardDecoder(c)
+	rng := rand.New(rand.NewSource(37))
+	success := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		data := randomBits(c.K, rng)
+		cw, _ := c.Encode(data)
+		noisy := make([]byte, len(cw))
+		copy(noisy, cw)
+		for i := 0; i < 2; i++ { // bit flipping corrects only a few
+			noisy[rng.Intn(c.N)] ^= 1
+		}
+		res, err := h.Decode(noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OK && bytes.Equal(res.Data, data) {
+			success++
+		}
+	}
+	if success < trials*3/5 {
+		t.Errorf("hard decode corrected %d/%d, want most", success, trials)
+	}
+	if _, err := h.Decode(make([]byte, 5)); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestSoftBeatsHard(t *testing.T) {
+	// The reason the paper needs soft sensing: at the same raw error
+	// count, min-sum over LLRs corrects more than bit flipping.
+	c := testCode(t)
+	soft := NewDecoder(c)
+	hard := NewHardDecoder(c)
+	rng := rand.New(rand.NewSource(41))
+	softOK, hardOK := 0, 0
+	const trials, flips = 30, 5
+	for trial := 0; trial < trials; trial++ {
+		data := randomBits(c.K, rng)
+		cw, _ := c.Encode(data)
+		noisy := make([]byte, len(cw))
+		copy(noisy, cw)
+		for i := 0; i < flips; i++ {
+			noisy[rng.Intn(c.N)] ^= 1
+		}
+		if res, _ := soft.Decode(HardToLLR(noisy, BSCLLR(0.005))); res.OK && bytes.Equal(res.Data, data) {
+			softOK++
+		}
+		if res, _ := hard.Decode(noisy); res.OK && bytes.Equal(res.Data, data) {
+			hardOK++
+		}
+	}
+	if softOK < hardOK {
+		t.Errorf("soft %d/%d vs hard %d/%d: soft should win", softOK, trials, hardOK, trials)
+	}
+	if softOK < trials*4/5 {
+		t.Errorf("soft corrected only %d/%d at %d flips", softOK, trials, flips)
+	}
+}
+
+func TestDecodeWrongLength(t *testing.T) {
+	c := testCode(t)
+	d := NewDecoder(c)
+	if _, err := d.Decode(make([]float64, 3)); err == nil {
+		t.Error("wrong LLR length accepted")
+	}
+}
+
+func TestBSCLLR(t *testing.T) {
+	if BSCLLR(0) < 30 {
+		t.Error("BSCLLR(0) should saturate high")
+	}
+	if BSCLLR(0.5) != 0 {
+		t.Error("BSCLLR(0.5) should be 0")
+	}
+	if l := BSCLLR(0.1); l < 2.19 || l > 2.20 {
+		t.Errorf("BSCLLR(0.1) = %g, want ~2.197", l)
+	}
+}
+
+// Property: encoding then syndrome always passes, for arbitrary data.
+func TestEncodeSyndromeProperty(t *testing.T) {
+	c, err := New(Params{InfoBits: 96, ParityBits: 24, ColWeight: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []byte) bool {
+		data := make([]byte, c.K)
+		for i := range data {
+			if i < len(raw) {
+				data[i] = raw[i] & 1
+			}
+		}
+		cw, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		return c.Syndrome(cw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a single flipped bit always breaks the syndrome (every
+// variable participates in at least one check).
+func TestSingleFlipBreaksSyndromeProperty(t *testing.T) {
+	c, err := New(Params{InfoBits: 96, ParityBits: 24, ColWeight: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []byte, pos uint16) bool {
+		data := make([]byte, c.K)
+		for i := range data {
+			if i < len(raw) {
+				data[i] = raw[i] & 1
+			}
+		}
+		cw, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		cw[int(pos)%c.N] ^= 1
+		return !c.Syndrome(cw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

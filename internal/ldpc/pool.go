@@ -1,0 +1,66 @@
+package ldpc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool decodes many codewords concurrently, one Decoder per worker
+// goroutine (Decoder itself is not safe for concurrent use).
+type Pool struct {
+	code    *Code
+	workers int
+	maxIter int
+	alpha   float64
+}
+
+// NewPool builds a decode pool. workers <= 0 selects GOMAXPROCS.
+func NewPool(code *Code, workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{code: code, workers: workers, maxIter: 30, alpha: 0.75}
+}
+
+// SetLimits overrides the per-decoder iteration cap and normalization.
+func (p *Pool) SetLimits(maxIter int, alpha float64) {
+	if maxIter > 0 {
+		p.maxIter = maxIter
+	}
+	if alpha > 0 {
+		p.alpha = alpha
+	}
+}
+
+// DecodeAll decodes every LLR vector and returns results in input
+// order. The first error (wrong LLR length) aborts the batch.
+func (p *Pool) DecodeAll(llrs [][]float64) ([]Result, error) {
+	results := make([]Result, len(llrs))
+	errs := make([]error, len(llrs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dec := NewDecoder(p.code)
+			dec.MaxIter = p.maxIter
+			dec.Alpha = p.alpha
+			for i := range jobs {
+				results[i], errs[i] = dec.Decode(llrs[i])
+			}
+		}()
+	}
+	for i := range llrs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ldpc: codeword %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,85 @@
+package ldpc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestPoolMatchesSequential(t *testing.T) {
+	code := testCode(t)
+	rng := rand.New(rand.NewSource(51))
+	const frames = 24
+	llrs := make([][]float64, frames)
+	datas := make([][]byte, frames)
+	for i := range llrs {
+		data := randomBits(code.K, rng)
+		cw, err := code.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noisy := make([]byte, len(cw))
+		copy(noisy, cw)
+		for f := 0; f < 5; f++ {
+			noisy[rng.Intn(code.N)] ^= 1
+		}
+		llrs[i] = HardToLLR(noisy, BSCLLR(0.005))
+		datas[i] = data
+	}
+	pool := NewPool(code, 4)
+	got, err := pool.DecodeAll(llrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewDecoder(code)
+	okCount := 0
+	for i := range llrs {
+		want, err := seq.Decode(llrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].OK != want.OK || !bytes.Equal(got[i].Bits, want.Bits) {
+			t.Fatalf("frame %d: pool result differs from sequential", i)
+		}
+		if got[i].OK && bytes.Equal(got[i].Data, datas[i]) {
+			okCount++
+		}
+	}
+	if okCount < frames*4/5 {
+		t.Errorf("pool decoded %d/%d frames", okCount, frames)
+	}
+}
+
+func TestPoolDefaultsAndLimits(t *testing.T) {
+	code := testCode(t)
+	p := NewPool(code, 0)
+	if p.workers < 1 {
+		t.Error("workers <= 0 should default to GOMAXPROCS")
+	}
+	p.SetLimits(5, 0.9)
+	if p.maxIter != 5 || p.alpha != 0.9 {
+		t.Error("SetLimits ignored")
+	}
+	p.SetLimits(0, -1) // invalid values ignored
+	if p.maxIter != 5 || p.alpha != 0.9 {
+		t.Error("invalid limits overwrote valid ones")
+	}
+}
+
+func TestPoolPropagatesErrors(t *testing.T) {
+	code := testCode(t)
+	pool := NewPool(code, 2)
+	llrs := [][]float64{make([]float64, code.N), make([]float64, 3)}
+	if _, err := pool.DecodeAll(llrs); err == nil {
+		t.Error("wrong-length LLR accepted")
+	}
+}
+
+func TestPoolEmptyBatch(t *testing.T) {
+	code := testCode(t)
+	pool := NewPool(code, 2)
+	got, err := pool.DecodeAll(nil)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty batch: %v, %d results", err, len(got))
+	}
+}

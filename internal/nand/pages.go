@@ -1,0 +1,301 @@
+package nand
+
+import (
+	"fmt"
+
+	"flexlevel/internal/noise"
+	"flexlevel/internal/reducecode"
+)
+
+// Page-granularity access per paper Fig. 1(a) and Fig. 3.
+//
+// A normal-state wordline holds four pages: the even and odd bitline
+// groups each contribute a lower page (the LSBs) and an upper page (the
+// MSBs). Programming follows the real MLC two-step flow: the lower page
+// moves cells from the erased state to an intermediate distribution,
+// and the upper-page program splits erased/intermediate cells into the
+// four final levels.
+//
+// A reduced-state wordline holds three pages (Fig. 3): the lower page
+// (two LSBs of every even cell pair), the middle page (two LSBs of every
+// odd pair) and the upper page (the MSB of every pair), programmed with
+// the Table 2 two-step algorithm.
+
+// PageType selects a page within a wordline.
+type PageType int
+
+const (
+	// LowerPage holds LSBs (even group in reduced state).
+	LowerPage PageType = iota
+	// MiddlePage holds the odd pairs' LSBs (reduced state only).
+	MiddlePage
+	// UpperPage holds MSBs.
+	UpperPage
+)
+
+func (p PageType) String() string {
+	switch p {
+	case LowerPage:
+		return "lower"
+	case MiddlePage:
+		return "middle"
+	case UpperPage:
+		return "upper"
+	default:
+		return fmt.Sprintf("PageType(%d)", int(p))
+	}
+}
+
+// PageAddr identifies one page on a wordline. Group selects the even
+// (0) or odd (1) bitline group for normal-state pages; it is ignored in
+// the reduced state, whose three pages span fixed cell sets.
+type PageAddr struct {
+	Row   int
+	Type  PageType
+	Group int // 0 = even bitlines, 1 = odd (normal state only)
+}
+
+// intermediateVerify is the verify voltage of the intermediate
+// distribution the lower-page program creates (between L0 and L1 spaced
+// toward the final L1/L2 region, as in real MLC).
+const intermediateVerify = 2.05
+
+// PageBits returns the number of bits the page holds.
+func (a *Array) PageBits(addr PageAddr) (int, error) {
+	if addr.Row < 0 || addr.Row >= a.Rows {
+		return 0, fmt.Errorf("nand: row %d out of range", addr.Row)
+	}
+	if a.state[addr.Row] == Reduced {
+		switch addr.Type {
+		case LowerPage, MiddlePage:
+			return a.Cols / 2, nil // two LSBs per pair, Cols/4 pairs per parity
+		case UpperPage:
+			return a.Cols / 2, nil // one MSB per pair, Cols/2 pairs
+		}
+		return 0, fmt.Errorf("nand: bad page type %v", addr.Type)
+	}
+	switch addr.Type {
+	case LowerPage, UpperPage:
+		if addr.Group != 0 && addr.Group != 1 {
+			return 0, fmt.Errorf("nand: bad bitline group %d", addr.Group)
+		}
+		return a.Cols / 2, nil
+	case MiddlePage:
+		return 0, fmt.Errorf("nand: normal state has no middle page")
+	}
+	return 0, fmt.Errorf("nand: bad page type %v", addr.Type)
+}
+
+// groupCols returns the columns of a bitline group (0 even, 1 odd).
+func (a *Array) groupCols(group int) []int {
+	cols := make([]int, 0, a.Cols/2)
+	for c := group; c < a.Cols; c += 2 {
+		cols = append(cols, c)
+	}
+	return cols
+}
+
+// ProgramPage programs one page. Bits are one per byte (0/1). Ordering
+// constraints are enforced: a group's lower page must be programmed
+// before its upper page (normal), and both LSB pages before the upper
+// page (reduced).
+func (a *Array) ProgramPage(addr PageAddr, bits []byte) error {
+	want, err := a.PageBits(addr)
+	if err != nil {
+		return err
+	}
+	if len(bits) != want {
+		return fmt.Errorf("nand: page %v wants %d bits, have %d", addr, want, len(bits))
+	}
+	if a.state[addr.Row] == Reduced {
+		return a.programReducedPage(addr, bits)
+	}
+	return a.programNormalPage(addr, bits)
+}
+
+// programNormalPage implements the MLC two-step flow on one bitline
+// group.
+func (a *Array) programNormalPage(addr PageAddr, bits []byte) error {
+	cols := a.groupCols(addr.Group)
+	switch addr.Type {
+	case LowerPage:
+		// LSB program: LSB=1 keeps the cell erased; LSB=0 raises it to
+		// the intermediate distribution. The controller's data latch
+		// remembers which cells went intermediate for the upper-page
+		// step (modeled by the intermediate flags).
+		for i, c := range cols {
+			idx := a.idx(addr.Row, c)
+			if a.programed[idx] {
+				return fmt.Errorf("nand: lower page reprogram on row %d col %d", addr.Row, c)
+			}
+			if bits[i]&1 == 0 {
+				a.programToVerify(addr.Row, c, intermediateVerify)
+				a.intermediate[idx] = true
+			}
+			a.programed[idx] = true
+		}
+		return nil
+	case UpperPage:
+		// MSB program: split per Gray mapping. Erased (LSB=1): MSB=1
+		// stays L0, MSB=0 programs to L3. Intermediate (LSB=0): MSB=1
+		// programs to L1, MSB=0 to L2.
+		spec := a.NormalSpec
+		for i, c := range cols {
+			idx := a.idx(addr.Row, c)
+			if !a.programed[idx] {
+				return fmt.Errorf("nand: upper page before lower on row %d col %d", addr.Row, c)
+			}
+			lsb := uint8(1)
+			if a.intermediate[idx] {
+				lsb = 0
+			}
+			level := GrayEncode(bits[i]&1, lsb)
+			if level > 0 {
+				a.programToVerify(addr.Row, c, spec.Levels[level].Verify)
+			}
+			a.intermediate[idx] = false
+		}
+		return nil
+	default:
+		return fmt.Errorf("nand: normal state cannot program %v page", addr.Type)
+	}
+}
+
+// programReducedPage implements the Table 2 page flow.
+func (a *Array) programReducedPage(addr PageAddr, bits []byte) error {
+	pairs := a.pairColumns()
+	half := len(pairs) / 2
+	switch addr.Type {
+	case LowerPage, MiddlePage:
+		// Two LSBs per pair: even pairs for lower, odd pairs for middle.
+		sel := pairs[:half]
+		if addr.Type == MiddlePage {
+			sel = pairs[half:]
+		}
+		if len(bits) < 2*len(sel) {
+			return fmt.Errorf("nand: reduced %v page wants %d bits", addr.Type, 2*len(sel))
+		}
+		spec := a.ReducedSpec
+		for pi, pc := range sel {
+			for cell := 0; cell < 2; cell++ {
+				idx := a.idx(addr.Row, pc[cell])
+				if a.programed[idx] {
+					return fmt.Errorf("nand: LSB reprogram on row %d col %d", addr.Row, pc[cell])
+				}
+				if bits[2*pi+cell]&1 == 1 {
+					a.programToVerify(addr.Row, pc[cell], spec.Levels[1].Verify)
+				}
+				a.programed[idx] = true
+			}
+		}
+		return nil
+	case UpperPage:
+		// One MSB per pair over all pairs; Table 2 transitions.
+		spec := a.ReducedSpec
+		for pi, pc := range pairs {
+			idxI := a.idx(addr.Row, pc[0])
+			idxII := a.idx(addr.Row, pc[1])
+			if !a.programed[idxI] || !a.programed[idxII] {
+				return fmt.Errorf("nand: upper page before LSB pages on row %d pair %d", addr.Row, pi)
+			}
+			if bits[pi]&1 == 0 {
+				continue // MSB 0: levels stay
+			}
+			// Recover the pair's current LSB levels by sensing.
+			lI := uint8(0)
+			if a.vth[idxI] >= spec.ReadRefs[0] {
+				lI = 1
+			}
+			lII := uint8(0)
+			if a.vth[idxII] >= spec.ReadRefs[0] {
+				lII = 1
+			}
+			v := uint8(0b100) | lI<<1 | lII
+			target := reducecode.Encode(v)
+			if target.I > lI {
+				a.programToVerify(addr.Row, pc[0], spec.Levels[target.I].Verify)
+			}
+			if target.II > lII {
+				a.programToVerify(addr.Row, pc[1], spec.Levels[target.II].Verify)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("nand: bad page type %v", addr.Type)
+	}
+}
+
+// programToVerify ISPP-programs a cell up to a verify voltage and
+// disturbs programmed neighbours, reusing the wordline-level machinery.
+func (a *Array) programToVerify(r, c int, verify float64) {
+	i := a.idx(r, c)
+	before := a.vth[i]
+	spec := a.spec(r)
+	target := verify + spec.Vpp/2 + programSigma(spec)*a.rng.NormFloat64()
+	if target < before {
+		return // already past the verify point
+	}
+	a.vth[i] = target
+	a.disturbNeighbours(r, c, target-before)
+}
+
+// programSigma returns the programmed-Vth spread of the spec's
+// programmed levels (they share one sigma by construction).
+func programSigma(spec *noise.Spec) float64 {
+	if spec.NumLevels() > 1 {
+		return spec.Levels[1].Sigma
+	}
+	return noise.DefaultProgramSigma
+}
+
+// ReadPage senses one page back to bits.
+func (a *Array) ReadPage(addr PageAddr) ([]byte, error) {
+	want, err := a.PageBits(addr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, want)
+	if a.state[addr.Row] == Reduced {
+		pairs := a.pairColumns()
+		half := len(pairs) / 2
+		switch addr.Type {
+		case LowerPage, MiddlePage:
+			sel := pairs[:half]
+			if addr.Type == MiddlePage {
+				sel = pairs[half:]
+			}
+			for pi, pc := range sel {
+				v := a.sensePairValue(addr.Row, pc)
+				out[2*pi] = (v >> 1) & 1
+				out[2*pi+1] = v & 1
+			}
+			return out[:2*len(sel)], nil
+		case UpperPage:
+			for pi, pc := range pairs {
+				v := a.sensePairValue(addr.Row, pc)
+				out[pi] = (v >> 2) & 1
+			}
+			return out[:len(pairs)], nil
+		}
+		return nil, fmt.Errorf("nand: bad page type %v", addr.Type)
+	}
+	spec := a.NormalSpec
+	for i, c := range a.groupCols(addr.Group) {
+		lvl, _ := spec.ReadLevelStrict(a.SenseVth(addr.Row, c))
+		msb, lsb := GrayDecode(uint8(lvl))
+		if addr.Type == UpperPage {
+			out[i] = msb
+		} else {
+			out[i] = lsb
+		}
+	}
+	return out, nil
+}
+
+// sensePairValue reads a ReduceCode pair back to its 3-bit value.
+func (a *Array) sensePairValue(row int, pc [2]int) uint8 {
+	spec := a.ReducedSpec
+	lI, _ := spec.ReadLevelStrict(a.SenseVth(row, pc[0]))
+	lII, _ := spec.ReadLevelStrict(a.SenseVth(row, pc[1]))
+	return reducecode.DecodeClosest(reducecode.LevelPair{I: uint8(lI), II: uint8(lII)})
+}

@@ -1,0 +1,259 @@
+package nand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randPage(n int, rng *rand.Rand) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(2))
+	}
+	return b
+}
+
+func TestPageTypeString(t *testing.T) {
+	if LowerPage.String() != "lower" || MiddlePage.String() != "middle" || UpperPage.String() != "upper" {
+		t.Error("page type strings wrong")
+	}
+}
+
+func TestPageBits(t *testing.T) {
+	a := newTestArray(t, 2, 16)
+	// Normal: lower/upper per group, 8 bits each.
+	for _, pt := range []PageType{LowerPage, UpperPage} {
+		for g := 0; g < 2; g++ {
+			n, err := a.PageBits(PageAddr{Row: 0, Type: pt, Group: g})
+			if err != nil || n != 8 {
+				t.Errorf("normal %v group %d: %d bits, err %v", pt, g, n, err)
+			}
+		}
+	}
+	if _, err := a.PageBits(PageAddr{Row: 0, Type: MiddlePage}); err == nil {
+		t.Error("normal middle page accepted")
+	}
+	if _, err := a.PageBits(PageAddr{Row: 0, Type: LowerPage, Group: 5}); err == nil {
+		t.Error("bad group accepted")
+	}
+	if _, err := a.PageBits(PageAddr{Row: 9}); err == nil {
+		t.Error("bad row accepted")
+	}
+	// Reduced: three pages of Cols/2 bits.
+	if err := a.SetRowState(1, Reduced); err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range []PageType{LowerPage, MiddlePage, UpperPage} {
+		n, err := a.PageBits(PageAddr{Row: 1, Type: pt})
+		if err != nil || n != 8 {
+			t.Errorf("reduced %v: %d bits, err %v", pt, n, err)
+		}
+	}
+}
+
+func TestNormalPageFlowRoundTrip(t *testing.T) {
+	a := newTestArray(t, 1, 64)
+	rng := rand.New(rand.NewSource(21))
+	// Program lower then upper for both groups; read everything back.
+	pages := map[PageAddr][]byte{}
+	for g := 0; g < 2; g++ {
+		lower := PageAddr{Row: 0, Type: LowerPage, Group: g}
+		upper := PageAddr{Row: 0, Type: UpperPage, Group: g}
+		lb := randPage(32, rng)
+		ub := randPage(32, rng)
+		if err := a.ProgramPage(lower, lb); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.ProgramPage(upper, ub); err != nil {
+			t.Fatal(err)
+		}
+		pages[lower], pages[upper] = lb, ub
+	}
+	for addr, want := range pages {
+		got, err := a.ReadPage(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := 0
+		for i := range want {
+			if got[i] != want[i] {
+				errs++
+			}
+		}
+		if errs > 1 {
+			t.Errorf("%v: %d/%d bits wrong right after programming", addr, errs, len(want))
+		}
+	}
+}
+
+func TestNormalPageOrderingEnforced(t *testing.T) {
+	a := newTestArray(t, 1, 16)
+	upper := PageAddr{Row: 0, Type: UpperPage, Group: 0}
+	if err := a.ProgramPage(upper, make([]byte, 8)); err == nil {
+		t.Error("upper page before lower accepted")
+	}
+	lower := PageAddr{Row: 0, Type: LowerPage, Group: 0}
+	if err := a.ProgramPage(lower, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ProgramPage(lower, make([]byte, 8)); err == nil {
+		t.Error("lower page reprogram accepted")
+	}
+	if err := a.ProgramPage(lower, make([]byte, 3)); err == nil {
+		t.Error("wrong bit count accepted")
+	}
+}
+
+func TestReducedPageFlowRoundTrip(t *testing.T) {
+	a := newTestArray(t, 1, 64)
+	if err := a.SetRowState(0, Reduced); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	lower := PageAddr{Row: 0, Type: LowerPage}
+	middle := PageAddr{Row: 0, Type: MiddlePage}
+	upper := PageAddr{Row: 0, Type: UpperPage}
+	lb, mb, ub := randPage(32, rng), randPage(32, rng), randPage(32, rng)
+	if err := a.ProgramPage(lower, lb); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ProgramPage(middle, mb); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ProgramPage(upper, ub); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		addr PageAddr
+		want []byte
+	}{{lower, lb}, {middle, mb}, {upper, ub}} {
+		got, err := a.ReadPage(c.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := 0
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				errs++
+			}
+		}
+		if errs > 1 {
+			t.Errorf("%v page: %d/%d bits wrong right after programming",
+				c.addr.Type, errs, len(c.want))
+		}
+	}
+}
+
+func TestReducedUpperRequiresLSBPages(t *testing.T) {
+	a := newTestArray(t, 1, 16)
+	if err := a.SetRowState(0, Reduced); err != nil {
+		t.Fatal(err)
+	}
+	upper := PageAddr{Row: 0, Type: UpperPage}
+	if err := a.ProgramPage(upper, make([]byte, 8)); err == nil {
+		t.Error("upper page before LSB pages accepted")
+	}
+	// Lower alone is not enough — odd pairs still erased.
+	if err := a.ProgramPage(PageAddr{Row: 0, Type: LowerPage}, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ProgramPage(upper, make([]byte, 8)); err == nil {
+		t.Error("upper page with middle page missing accepted")
+	}
+}
+
+func TestPageFlowMatchesWordlineProgram(t *testing.T) {
+	// Programming a wordline page by page must store the same values as
+	// the one-shot wordline API.
+	rng := rand.New(rand.NewSource(23))
+	values := make([]uint8, 16) // 32 cols -> 16 pairs
+	for i := range values {
+		values[i] = uint8(rng.Intn(8))
+	}
+	// One-shot reference.
+	ref := newTestArray(t, 1, 32)
+	if err := ref.SetRowState(0, Reduced); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.ProgramRowReduced(0, values); err != nil {
+		t.Fatal(err)
+	}
+	refOut, err := ref.ReadRowReduced(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page-by-page: lower = even pairs' LSBs, middle = odd pairs',
+	// upper = MSBs of all pairs in pair order.
+	pg := newTestArray(t, 1, 32)
+	if err := pg.SetRowState(0, Reduced); err != nil {
+		t.Fatal(err)
+	}
+	half := len(values) / 2
+	lower := make([]byte, 16)
+	middle := make([]byte, 16)
+	upper := make([]byte, 16)
+	for pi, v := range values {
+		if pi < half {
+			lower[2*pi] = (v >> 1) & 1
+			lower[2*pi+1] = v & 1
+		} else {
+			middle[2*(pi-half)] = (v >> 1) & 1
+			middle[2*(pi-half)+1] = v & 1
+		}
+		upper[pi] = (v >> 2) & 1
+	}
+	if err := pg.ProgramPage(PageAddr{Row: 0, Type: LowerPage}, lower); err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.ProgramPage(PageAddr{Row: 0, Type: MiddlePage}, middle); err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.ProgramPage(PageAddr{Row: 0, Type: UpperPage}, upper); err != nil {
+		t.Fatal(err)
+	}
+	pgOut, err := pg.ReadRowReduced(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range values {
+		if refOut[i] != values[i] {
+			continue // reference itself misread (noise); skip
+		}
+		if pgOut[i] != refOut[i] {
+			diff++
+		}
+	}
+	if diff > 1 {
+		t.Errorf("page flow differs from wordline flow on %d/%d pairs", diff, len(values))
+	}
+}
+
+func TestLSBVulnerabilityDuringMSBProgram(t *testing.T) {
+	// The classic MLC hazard the even/odd structure mitigates: the
+	// upper-page program of neighbours disturbs already-stored lower
+	// pages, but not enough to flip them right away.
+	a := newTestArray(t, 2, 32)
+	rng := rand.New(rand.NewSource(24))
+	lb := randPage(16, rng)
+	if err := a.ProgramPage(PageAddr{Row: 0, Type: LowerPage, Group: 0}, lb); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ProgramPage(PageAddr{Row: 0, Type: UpperPage, Group: 0}, randPage(16, rng)); err != nil {
+		t.Fatal(err)
+	}
+	// Program the odd group and the next wordline: disturb sources.
+	if err := a.ProgramPage(PageAddr{Row: 0, Type: LowerPage, Group: 1}, randPage(16, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ProgramPage(PageAddr{Row: 0, Type: UpperPage, Group: 1}, randPage(16, rng)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.ReadPage(PageAddr{Row: 0, Type: UpperPage, Group: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 {
+		t.Fatalf("read %d bits", len(got))
+	}
+}

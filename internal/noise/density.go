@@ -1,0 +1,68 @@
+package noise
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// pdf evaluates the Gaussian density at x.
+func (g Gaussian) pdf(x float64) float64 {
+	if g.Sigma <= 0 {
+		return 0
+	}
+	z := (x - g.Mu) / g.Sigma
+	return math.Exp(-z*z/2) / (g.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// WriteDensityCSV samples the occupancy-weighted Vth density of every
+// level of spec over [vmin, vmax] into CSV (vth, one column per level),
+// for plotting Fig. 4-style margin diagrams. A trailing comment row
+// lists the read reference voltages.
+func WriteDensityCSV(w io.Writer, spec *Spec, enc Encoding, vmin, vmax float64, points int) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if err := enc.Validate(); err != nil {
+		return err
+	}
+	if len(enc.Occupancy) != spec.NumLevels() {
+		return fmt.Errorf("noise: encoding %q has %d levels, spec %q has %d",
+			enc.Name, len(enc.Occupancy), spec.Name, spec.NumLevels())
+	}
+	if points < 2 {
+		return fmt.Errorf("noise: need at least 2 sample points, have %d", points)
+	}
+	if !(vmax > vmin) {
+		return fmt.Errorf("noise: vmax %g not above vmin %g", vmax, vmin)
+	}
+	if _, err := fmt.Fprint(w, "vth"); err != nil {
+		return err
+	}
+	for i := 0; i < spec.NumLevels(); i++ {
+		if _, err := fmt.Fprintf(w, ",level%d", i); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	step := (vmax - vmin) / float64(points-1)
+	for p := 0; p < points; p++ {
+		v := vmin + step*float64(p)
+		if _, err := fmt.Fprintf(w, "%.4f", v); err != nil {
+			return err
+		}
+		for i := 0; i < spec.NumLevels(); i++ {
+			d := enc.Occupancy[i] * spec.Programmed(i).pdf(v)
+			if _, err := fmt.Fprintf(w, ",%.6g", d); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# read_refs=%v\n", spec.ReadRefs)
+	return err
+}

@@ -1,0 +1,89 @@
+// Package noise models the device-level noise sources of MLC NAND flash
+// that FlexLevel (DAC'15) builds on: programmed threshold-voltage (Vth)
+// distributions, cell-to-cell interference (paper Eq. 2), and retention
+// charge loss (paper Eq. 3). It offers both closed-form (Gaussian tail)
+// error-probability computations and a Monte-Carlo cell sampler used to
+// cross-validate the analytics.
+package noise
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Gaussian is a normal distribution N(Mu, Sigma^2).
+type Gaussian struct {
+	Mu    float64
+	Sigma float64
+}
+
+// CDF returns P(X <= x).
+func (g Gaussian) CDF(x float64) float64 {
+	if g.Sigma <= 0 {
+		if x >= g.Mu {
+			return 1
+		}
+		return 0
+	}
+	return 0.5 * math.Erfc((g.Mu-x)/(g.Sigma*math.Sqrt2))
+}
+
+// Tail returns P(X > x), the upper tail probability.
+func (g Gaussian) Tail(x float64) float64 {
+	if g.Sigma <= 0 {
+		if x < g.Mu {
+			return 1
+		}
+		return 0
+	}
+	return 0.5 * math.Erfc((x-g.Mu)/(g.Sigma*math.Sqrt2))
+}
+
+// Sample draws one value using rng.
+func (g Gaussian) Sample(rng *rand.Rand) float64 {
+	return g.Mu + g.Sigma*rng.NormFloat64()
+}
+
+// Add returns the distribution of the sum of two independent Gaussians.
+func (g Gaussian) Add(h Gaussian) Gaussian {
+	return Gaussian{
+		Mu:    g.Mu + h.Mu,
+		Sigma: math.Hypot(g.Sigma, h.Sigma),
+	}
+}
+
+// Scale returns the distribution of c*X.
+func (g Gaussian) Scale(c float64) Gaussian {
+	return Gaussian{Mu: c * g.Mu, Sigma: math.Abs(c) * g.Sigma}
+}
+
+func (g Gaussian) String() string {
+	return fmt.Sprintf("N(%.4g, %.4g²)", g.Mu, g.Sigma)
+}
+
+// Q is the standard normal upper-tail function Q(z) = P(N(0,1) > z).
+func Q(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// QInv approximates the inverse of Q via bisection on [-40, 40].
+// It returns the z such that Q(z) = p for p in (0, 1).
+func QInv(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	if p >= 1 {
+		return math.Inf(-1)
+	}
+	lo, hi := -40.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if Q(mid) > p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,169 @@
+// Package nunma holds the threshold-voltage configurations of FlexLevel's
+// LevelAdjust technique: the regular 4-level MLC baseline, the basic
+// (uniform-margin) 3-level reduced state, and the three non-uniform
+// noise-margin-adjustment configurations of paper Table 3. It also
+// provides a small verify-voltage optimizer used for the ablation study.
+package nunma
+
+import (
+	"fmt"
+	"math"
+
+	"flexlevel/internal/noise"
+)
+
+// Config is one row of paper Table 3: the program step and the verify /
+// read-reference voltages of the two programmed levels of a reduced-state
+// cell (level 0 is the erased state).
+type Config struct {
+	Name      string
+	Vpp       float64
+	Vverify1  float64
+	Vverify2  float64
+	VreadRef1 float64
+	VreadRef2 float64
+}
+
+// Table3 returns the three NUNMA configurations exactly as published.
+func Table3() []Config {
+	return []Config{
+		{Name: "NUNMA 1", Vpp: 0.15, Vverify1: 2.71, Vverify2: 3.61, VreadRef1: 2.65, VreadRef2: 3.55},
+		{Name: "NUNMA 2", Vpp: 0.15, Vverify1: 2.70, Vverify2: 3.65, VreadRef1: 2.65, VreadRef2: 3.55},
+		{Name: "NUNMA 3", Vpp: 0.15, Vverify1: 2.75, Vverify2: 3.70, VreadRef1: 2.65, VreadRef2: 3.55},
+	}
+}
+
+// ByName returns the Table 3 configuration with the given name.
+func ByName(name string) (Config, error) {
+	for _, c := range Table3() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("nunma: unknown configuration %q", name)
+}
+
+// Spec builds the 3-level reduced-state device spec for the config.
+func (c Config) Spec() *noise.Spec {
+	return &noise.Spec{
+		Name: c.Name,
+		Levels: []noise.Level{
+			{Verify: noise.ErasedMu, Sigma: noise.ErasedSigma},
+			{Verify: c.Vverify1, Sigma: noise.DefaultProgramSigma},
+			{Verify: c.Vverify2, Sigma: noise.DefaultProgramSigma},
+		},
+		ReadRefs: []float64{c.VreadRef1, c.VreadRef2},
+		Vpp:      c.Vpp,
+		Vpass:    noise.DefaultVpass,
+	}
+}
+
+// RetentionMargins returns the verify-to-read-reference distances of the
+// two programmed levels — the quantity NUNMA adjusts non-uniformly.
+func (c Config) RetentionMargins() (m1, m2 float64) {
+	return c.Vverify1 - c.VreadRef1, c.Vverify2 - c.VreadRef2
+}
+
+// BaselineMLC returns the regular 4-level MLC normal-state spec used as
+// the comparison baseline throughout the paper's evaluation. Verify
+// voltages sit just above their read references (the paper's Fig. 4(a)
+// starting point) with the same 0.15V program step as Table 3.
+func BaselineMLC() *noise.Spec {
+	return &noise.Spec{
+		Name: "baseline-mlc",
+		Levels: []noise.Level{
+			{Verify: noise.ErasedMu, Sigma: noise.ErasedSigma},
+			{Verify: 2.30, Sigma: noise.DefaultProgramSigma},
+			{Verify: 2.95, Sigma: noise.DefaultProgramSigma},
+			{Verify: 3.60, Sigma: noise.DefaultProgramSigma},
+		},
+		ReadRefs: []float64{2.25, 2.90, 3.55},
+		Vpp:      0.15,
+		Vpass:    noise.DefaultVpass,
+	}
+}
+
+// SLCModeSpec returns the industry-standard fallback the encoding
+// ablation compares against: the MLC cell driven with only its erased
+// and top programmed levels and a single, centered read reference —
+// one bit per cell at maximal noise margins.
+func SLCModeSpec() *noise.Spec {
+	return &noise.Spec{
+		Name: "slc-mode",
+		Levels: []noise.Level{
+			{Verify: noise.ErasedMu, Sigma: noise.ErasedSigma},
+			{Verify: 3.60, Sigma: noise.DefaultProgramSigma},
+		},
+		ReadRefs: []float64{2.35},
+		Vpp:      0.15,
+		Vpass:    noise.DefaultVpass,
+	}
+}
+
+// BasicLevelAdjust returns the reduced-state spec of §4.1 before NUNMA is
+// applied: three levels with uniform noise margins (verify voltages the
+// same small distance above the read references as the baseline MLC
+// uses).
+func BasicLevelAdjust() *noise.Spec {
+	return &noise.Spec{
+		Name: "basic-leveladjust",
+		Levels: []noise.Level{
+			{Verify: noise.ErasedMu, Sigma: noise.ErasedSigma},
+			{Verify: 2.70, Sigma: noise.DefaultProgramSigma},
+			{Verify: 3.60, Sigma: noise.DefaultProgramSigma},
+		},
+		ReadRefs: []float64{2.65, 3.55},
+		Vpp:      0.15,
+		Vpass:    noise.DefaultVpass,
+	}
+}
+
+// SearchResult is the outcome of Optimize.
+type SearchResult struct {
+	Config       Config
+	C2CBER       float64
+	RetentionBER float64 // at the evaluation point
+	WorstBER     float64
+}
+
+// Optimize grid-searches verify voltages for the reduced state that
+// minimize the worse of C2C BER and retention BER at the given P/E and
+// storage time, holding read references fixed at the Table 3 values.
+// enc is the encoding whose occupancy weights apply (ReduceCode for the
+// paper's design). step is the search granularity in volts.
+func Optimize(enc noise.Encoding, pe int, hours float64, step float64) (SearchResult, error) {
+	if step <= 0 {
+		return SearchResult{}, fmt.Errorf("nunma: non-positive search step %g", step)
+	}
+	const (
+		ref1, ref2 = 2.65, 3.55
+		vpp        = 0.15
+	)
+	best := SearchResult{WorstBER: math.Inf(1)}
+	for v1 := ref1 + 0.01; v1 <= ref1+0.20; v1 += step {
+		for v2 := ref2 + 0.01; v2 <= ref2+0.25; v2 += step {
+			if v2 <= v1+vpp { // keep levels separated by at least one step
+				continue
+			}
+			cfg := Config{
+				Name: "search", Vpp: vpp,
+				Vverify1: v1, Vverify2: v2,
+				VreadRef1: ref1, VreadRef2: ref2,
+			}
+			m, err := noise.NewBERModel(cfg.Spec(), enc)
+			if err != nil {
+				return SearchResult{}, err
+			}
+			c2c := m.C2CBER()
+			ret := m.RetentionBER(pe, hours)
+			worst := math.Max(c2c, ret)
+			if worst < best.WorstBER {
+				best = SearchResult{Config: cfg, C2CBER: c2c, RetentionBER: ret, WorstBER: worst}
+			}
+		}
+	}
+	if math.IsInf(best.WorstBER, 1) {
+		return SearchResult{}, fmt.Errorf("nunma: search space empty")
+	}
+	return best, nil
+}

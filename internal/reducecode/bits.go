@@ -1,0 +1,64 @@
+package reducecode
+
+import "fmt"
+
+// PackBits converts a bit stream (packed LSB-first in data, nbits long)
+// into the level-pair stream that stores it. nbits must be a multiple of
+// BitsPerPair; PadBits helps callers round up.
+func PackBits(data []byte, nbits int) ([]LevelPair, error) {
+	if nbits%BitsPerPair != 0 {
+		return nil, fmt.Errorf("reducecode: bit count %d not a multiple of %d", nbits, BitsPerPair)
+	}
+	if nbits > len(data)*8 {
+		return nil, fmt.Errorf("reducecode: bit count %d exceeds data length %d bits", nbits, len(data)*8)
+	}
+	pairs := make([]LevelPair, nbits/BitsPerPair)
+	for i := range pairs {
+		v := uint8(0)
+		for b := 0; b < BitsPerPair; b++ {
+			bit := i*BitsPerPair + b
+			if data[bit/8]>>(bit%8)&1 == 1 {
+				v |= 1 << (BitsPerPair - 1 - b)
+			}
+		}
+		pairs[i] = Encode(v)
+	}
+	return pairs, nil
+}
+
+// UnpackBits reverses PackBits: the level-pair stream becomes a packed
+// bit stream of nbits bits (LSB-first in each byte). Invalid pairs are
+// resolved with DecodeClosest.
+func UnpackBits(pairs []LevelPair, nbits int) ([]byte, error) {
+	if nbits%BitsPerPair != 0 {
+		return nil, fmt.Errorf("reducecode: bit count %d not a multiple of %d", nbits, BitsPerPair)
+	}
+	if nbits > len(pairs)*BitsPerPair {
+		return nil, fmt.Errorf("reducecode: bit count %d exceeds %d pairs", nbits, len(pairs))
+	}
+	out := make([]byte, (nbits+7)/8)
+	for i := 0; i < nbits/BitsPerPair; i++ {
+		v := DecodeClosest(pairs[i])
+		for b := 0; b < BitsPerPair; b++ {
+			bit := i*BitsPerPair + b
+			if v>>(BitsPerPair-1-b)&1 == 1 {
+				out[bit/8] |= 1 << (bit % 8)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PadBits rounds a bit count up to the next multiple of BitsPerPair.
+func PadBits(nbits int) int {
+	if r := nbits % BitsPerPair; r != 0 {
+		return nbits + BitsPerPair - r
+	}
+	return nbits
+}
+
+// PairsForBytes returns how many cell pairs store n data bytes.
+func PairsForBytes(n int) int { return PadBits(n*8) / BitsPerPair }
+
+// CellsForBytes returns how many reduced-state cells store n data bytes.
+func CellsForBytes(n int) int { return 2 * PairsForBytes(n) }

@@ -1,0 +1,122 @@
+package ssd
+
+import (
+	"testing"
+	"time"
+
+	"flexlevel/internal/baseline"
+	"flexlevel/internal/ftl"
+)
+
+func TestUnreadableTracked(t *testing.T) {
+	// BER far beyond any sensing capability: every mapped read counts
+	// as unreadable.
+	d := newDevice(t, flatBER(0.1, 0), baseline.NewLDPCInSSD())
+	for i := 0; i < 10; i++ {
+		d.Read(time.Duration(i)*time.Millisecond, uint64(i))
+	}
+	res := d.Results()
+	if res.Unreadable != 10 {
+		t.Errorf("Unreadable = %d, want 10", res.Unreadable)
+	}
+	if res.Refreshes != 0 {
+		t.Errorf("Refreshes = %d without AutoRefresh, want 0", res.Refreshes)
+	}
+}
+
+func TestAutoRefreshRestoresReadability(t *testing.T) {
+	// Age-driven BER: old pages unreadable, rewritten pages fine.
+	cfg := smallConfig()
+	cfg.AutoRefresh = true
+	berOf := func(state ftl.BlockState, pe int, ageHours float64) float64 {
+		if ageHours > 100 {
+			return 0.1 // hopeless
+		}
+		return 1e-4
+	}
+	d, err := New(cfg, berOf, baseline.NewLDPCInSSD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Preload(512); err != nil {
+		t.Fatal(err)
+	}
+	// Find an old page.
+	var victim uint64
+	found := false
+	for lpn := uint64(0); lpn < 512; lpn++ {
+		if _, ok := d.requiredLevels(lpn, 0); !ok {
+			victim, found = lpn, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no unreadable page despite aged preload")
+	}
+	d.Read(time.Second, victim)
+	res := d.Results()
+	if res.Unreadable != 1 || res.Refreshes != 1 {
+		t.Fatalf("unreadable/refreshes = %d/%d, want 1/1", res.Unreadable, res.Refreshes)
+	}
+	// After the refresh the page reads clean.
+	if _, ok := d.requiredLevels(victim, 2*time.Second); !ok {
+		t.Error("page still unreadable after refresh")
+	}
+	d.Read(2*time.Second, victim)
+	res = d.Results()
+	if res.Unreadable != 1 {
+		t.Errorf("refreshed page counted unreadable again: %d", res.Unreadable)
+	}
+}
+
+func TestWearLevelingHookRuns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WearLevelEvery = 50
+	d, err := New(cfg, flatBER(0, 0), baseline.Oracle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Preload(512); err != nil {
+		t.Fatal(err)
+	}
+	// Hammer a tiny hot range so wear skews, letting the periodic
+	// leveler trigger (spread threshold is 64 cycles).
+	for i := 0; i < 30000; i++ {
+		if _, err := d.Write(time.Duration(i)*time.Microsecond, uint64(i%8), ftl.NormalState); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := d.FTL().WearStats()
+	if ws.MaxPE-ws.MinPE > 1000 {
+		t.Errorf("wear spread %d despite periodic leveling", ws.MaxPE-ws.MinPE)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	f, err := ftl.New(ftl.Config{
+		LogicalPages:  512,
+		PagesPerBlock: 16,
+		Blocks:        44,
+		ReducedFactor: 0.75,
+		GCThreshold:   3,
+		GCTarget:      6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Write(9, ftl.NormalState); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Trim(9); err != nil {
+		t.Fatal(err)
+	}
+	if f.Mapped(9) {
+		t.Error("trimmed page still mapped")
+	}
+	if err := f.Trim(9); err != nil {
+		t.Error("double trim should be a no-op")
+	}
+	if err := f.Trim(99999); err == nil {
+		t.Error("out-of-range trim accepted")
+	}
+}

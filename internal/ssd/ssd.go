@@ -1,0 +1,410 @@
+// Package ssd is the SSD timing simulator of the FlexLevel evaluation
+// (the paper modified FlashSim [20]; this is an equivalent event-driven
+// simulator built from scratch): a page-mapping FTL, a write-back write
+// buffer, a single flash channel with FIFO service, Table 6 operation
+// latencies, and a per-read soft-sensing cost derived from the device
+// noise models via the sensing-level rule.
+package ssd
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"flexlevel/internal/baseline"
+	"flexlevel/internal/ftl"
+	"flexlevel/internal/sensing"
+	"flexlevel/internal/stats"
+)
+
+// BERFunc returns the raw bit error rate of a page in a block of the
+// given state, at the block's P/E wear, after ageHours of storage.
+type BERFunc func(state ftl.BlockState, pe int, ageHours float64) float64
+
+// Config parameterizes a Device.
+type Config struct {
+	FTL    ftl.Config
+	Timing sensing.Timing
+	Rule   sensing.LevelRule
+
+	// Write-back buffer: writes complete at BufferLatency as long as the
+	// flash backlog stays within BufferPages' worth of program time.
+	BufferPages   int
+	BufferLatency time.Duration
+
+	// MaxDataAgeHours is the upper bound of the uniform retention age
+	// assigned to preloaded data (the paper evaluates at up to 1 month).
+	MaxDataAgeHours float64
+
+	// Channels is the number of independent flash channels; physical
+	// blocks stripe across them (block % Channels). 0 or 1 models the
+	// single-channel device the calibrated experiments use.
+	Channels int
+
+	// AutoRefresh rewrites a page in place when its BER exceeds even the
+	// maximum soft-sensing capability (retention relaxation: the read
+	// succeeds only after the refresh). Off by default — the paper's
+	// evaluation does not model refresh.
+	AutoRefresh bool
+
+	// RefreshAboveLevels, when positive, rewrites any page whose read
+	// needed at least that many extra sensing levels (aggressive
+	// scrubbing — the retention-relaxation related work [10] that trades
+	// write traffic for read latency). 0 disables.
+	RefreshAboveLevels int
+
+	// WearLevelEvery, when positive, runs one static wear-leveling round
+	// after every N user writes.
+	WearLevelEvery int
+
+	Seed int64
+}
+
+// DefaultConfig returns the scaled paper evaluation system.
+func DefaultConfig() Config {
+	return Config{
+		FTL:             ftl.DefaultConfig(),
+		Timing:          sensing.DefaultTiming(),
+		Rule:            sensing.DefaultRule(),
+		BufferPages:     64,
+		BufferLatency:   5 * time.Microsecond,
+		MaxDataAgeHours: 720,
+		Seed:            1,
+	}
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if err := c.FTL.Validate(); err != nil {
+		return err
+	}
+	if err := c.Rule.Validate(); err != nil {
+		return err
+	}
+	if c.BufferPages < 0 {
+		return fmt.Errorf("ssd: negative buffer pages")
+	}
+	if c.BufferLatency < 0 {
+		return fmt.Errorf("ssd: negative buffer latency")
+	}
+	if c.MaxDataAgeHours < 0 {
+		return fmt.Errorf("ssd: negative max data age")
+	}
+	if c.Channels < 0 {
+		return fmt.Errorf("ssd: negative channel count")
+	}
+	if c.WearLevelEvery < 0 {
+		return fmt.Errorf("ssd: negative wear-level interval")
+	}
+	if c.RefreshAboveLevels < 0 {
+		return fmt.Errorf("ssd: negative refresh threshold")
+	}
+	return nil
+}
+
+// channels normalizes the configured channel count.
+func (c Config) channels() int {
+	if c.Channels < 1 {
+		return 1
+	}
+	return c.Channels
+}
+
+// Results holds the simulator's outputs.
+type Results struct {
+	ReadResp    stats.Accumulator
+	WriteResp   stats.Accumulator
+	OverallResp stats.Accumulator
+
+	// ReadSample keeps every read response time for percentile queries.
+	ReadSample *stats.Sample
+
+	Reads           int64
+	Writes          int64
+	SensingAttempts int64 // total sensing passes across all attempts
+	LevelHist       [sensing.MaxExtraLevels + 1]int64
+
+	// Unreadable counts reads whose BER exceeded even the maximum soft
+	// sensing capability; Refreshes counts the in-place rewrites
+	// AutoRefresh performed for them.
+	Unreadable int64
+	Refreshes  int64
+
+	FTL ftl.Stats
+}
+
+// Device is the simulated SSD.
+type Device struct {
+	cfg    Config
+	ftl    *ftl.FTL
+	berOf  BERFunc
+	policy baseline.ReadPolicy
+
+	// Per physical page: the retention-age offset (pre-aging) and the
+	// simulation time of the last program.
+	ageOffset []float64
+	progTime  []time.Duration
+
+	chanFree []time.Duration // per-channel busy-until time
+	res      Results
+	rng      *rand.Rand
+
+	levelCache map[float64]levelEntry // BER -> required levels
+}
+
+type levelEntry struct {
+	levels     int
+	achievable bool
+}
+
+// channelOf maps a physical block to its flash channel.
+func (d *Device) channelOf(block int) int { return block % len(d.chanFree) }
+
+// New builds a Device. berOf supplies the device-physics BER; policy the
+// read-retry behaviour.
+func New(cfg Config, berOf BERFunc, policy baseline.ReadPolicy) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if berOf == nil || policy == nil {
+		return nil, fmt.Errorf("ssd: nil BER function or policy")
+	}
+	f, err := ftl.New(cfg.FTL)
+	if err != nil {
+		return nil, err
+	}
+	phys := cfg.FTL.PagesPerBlock * cfg.FTL.Blocks
+	d := &Device{
+		cfg:        cfg,
+		ftl:        f,
+		berOf:      berOf,
+		policy:     policy,
+		ageOffset:  make([]float64, phys),
+		progTime:   make([]time.Duration, phys),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		levelCache: make(map[float64]levelEntry),
+	}
+	d.chanFree = make([]time.Duration, cfg.channels())
+	d.res.ReadSample = stats.NewSample(0)
+	f.OnRelocate = func(lpn uint64, oldPPN, newPPN int64) {
+		// A GC copy reprograms the data: retention age restarts.
+		d.ageOffset[newPPN] = 0
+		d.progTime[newPPN] = d.Now()
+	}
+	if forgetter, ok := policy.(interface{ Forget(int) }); ok {
+		f.OnErase = forgetter.Forget
+	}
+	return d, nil
+}
+
+// FTL exposes the underlying mapping layer (read-only use intended).
+func (d *Device) FTL() *ftl.FTL { return d.ftl }
+
+// Preload writes the first pages logical pages once (sequentially, into
+// the normal pool), assigns each a random retention age in
+// [0, MaxDataAgeHours], and resets the statistics so experiments measure
+// only the workload. Real traces touch a fraction of the SSD; preloading
+// just the footprint keeps the spare-space dynamics faithful.
+func (d *Device) Preload(pages uint64) error {
+	if pages > d.cfg.FTL.LogicalPages {
+		return fmt.Errorf("ssd: preload of %d pages exceeds logical space %d",
+			pages, d.cfg.FTL.LogicalPages)
+	}
+	for lpn := uint64(0); lpn < pages; lpn++ {
+		ppn, _, err := d.ftl.Write(lpn, ftl.NormalState)
+		if err != nil {
+			return fmt.Errorf("ssd: preload: %w", err)
+		}
+		d.ageOffset[ppn] = d.rng.Float64() * d.cfg.MaxDataAgeHours
+		d.progTime[ppn] = 0
+	}
+	d.ResetMeasurement()
+	return nil
+}
+
+// ResetMeasurement zeroes the clock, the response-time accumulators and
+// the FTL counters. Callers that precondition the device through the
+// regular Write path (instead of Preload) use it to start a clean
+// measured phase.
+func (d *Device) ResetMeasurement() {
+	for i := range d.chanFree {
+		d.chanFree[i] = 0
+	}
+	d.res = Results{ReadSample: stats.NewSample(0)}
+	d.ftl.ResetStats()
+}
+
+// ageHours returns the retention age of a physical page at sim time now.
+func (d *Device) ageHours(ppn int64, now time.Duration) float64 {
+	elapsed := now - d.progTime[ppn]
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	return d.ageOffset[ppn] + elapsed.Hours()
+}
+
+// RequiredLevels computes the soft sensing levels a read of lpn needs
+// right now, from the device physics.
+func (d *Device) RequiredLevels(lpn uint64, now time.Duration) int {
+	levels, _ := d.requiredLevels(lpn, now)
+	return levels
+}
+
+// requiredLevels also reports whether the page is readable at all
+// within the device's maximum sensing capability.
+func (d *Device) requiredLevels(lpn uint64, now time.Duration) (int, bool) {
+	ppn, state, ok := d.ftl.Lookup(lpn)
+	if !ok {
+		return 0, true
+	}
+	block := int(ppn) / d.cfg.FTL.PagesPerBlock
+	pe := d.ftl.BlockPE(block)
+	ber := d.berOf(state, pe, d.ageHours(ppn, now))
+	if e, ok := d.levelCache[ber]; ok {
+		return e.levels, e.achievable
+	}
+	levels, achievable := d.cfg.Rule.RequiredLevels(ber)
+	d.levelCache[ber] = levelEntry{levels, achievable}
+	return levels, achievable
+}
+
+// Read simulates a one-page read arriving at time now. It returns the
+// response time and the sensing level that finally succeeded.
+func (d *Device) Read(now time.Duration, lpn uint64) (time.Duration, int) {
+	required := 0
+	achievable := true
+	block := 0
+	var state ftl.BlockState
+	mapped := false
+	if ppn, st, ok := d.ftl.Lookup(lpn); ok {
+		required, achievable = d.requiredLevels(lpn, now)
+		block = int(ppn) / d.cfg.FTL.PagesPerBlock
+		state = st
+		mapped = true
+	}
+	attempts := d.policy.Attempts(block, required)
+	var service time.Duration
+	for _, l := range attempts {
+		service += d.cfg.Timing.ReadLatency(l)
+	}
+	ch := d.channelOf(block)
+	start := now
+	if d.chanFree[ch] > start {
+		start = d.chanFree[ch]
+	}
+	complete := start + service
+	d.chanFree[ch] = complete
+	resp := complete - now
+
+	d.res.Reads++
+	d.res.SensingAttempts += int64(len(attempts))
+	final := attempts[len(attempts)-1]
+	if final > sensing.MaxExtraLevels {
+		final = sensing.MaxExtraLevels
+	}
+	d.res.LevelHist[final]++
+	d.res.ReadResp.Add(resp.Seconds())
+	d.res.ReadSample.Add(resp.Seconds())
+	d.res.OverallResp.Add(resp.Seconds())
+
+	if !achievable && mapped {
+		d.res.Unreadable++
+		if d.cfg.AutoRefresh {
+			// Retention relaxation: rewrite the page in place so its
+			// age (and BER) restart. Charged as background work.
+			if err := d.Migrate(now, lpn, state); err == nil {
+				d.res.Refreshes++
+			}
+		}
+	} else if mapped && d.cfg.RefreshAboveLevels > 0 && required >= d.cfg.RefreshAboveLevels {
+		// Aggressive scrubbing: any soft-sensed page is rewritten so
+		// its next read is a hard-decision read.
+		if err := d.Migrate(now, lpn, state); err == nil {
+			d.res.Refreshes++
+		}
+	}
+	return resp, final
+}
+
+// opsTime converts FTL operation counts into flash busy time.
+func (d *Device) opsTime(ops ftl.OpCount) time.Duration {
+	t := time.Duration(ops.Programs) * d.cfg.Timing.Program
+	t += time.Duration(ops.CopyReads) * d.cfg.Timing.Read
+	t += time.Duration(ops.Erases) * d.cfg.Timing.Erase
+	return t
+}
+
+// Write simulates a one-page write arriving at now, directed at the
+// given pool. Write-back semantics: the request completes at buffer
+// latency unless the flash backlog exceeds the buffer's capacity.
+func (d *Device) Write(now time.Duration, lpn uint64, state ftl.BlockState) (time.Duration, error) {
+	ppn, ops, err := d.ftl.Write(lpn, state)
+	if err != nil {
+		return 0, err
+	}
+	d.ageOffset[ppn] = 0
+	d.progTime[ppn] = now
+
+	ch := d.channelOf(int(ppn) / d.cfg.FTL.PagesPerBlock)
+	if d.chanFree[ch] < now {
+		d.chanFree[ch] = now
+	}
+	d.chanFree[ch] += d.opsTime(ops)
+
+	backlog := d.chanFree[ch] - now
+	allowance := time.Duration(d.cfg.BufferPages) * d.cfg.Timing.Program
+	resp := d.cfg.BufferLatency
+	if backlog > allowance {
+		resp += backlog - allowance
+	}
+	d.res.Writes++
+	d.res.WriteResp.Add(resp.Seconds())
+	d.res.OverallResp.Add(resp.Seconds())
+
+	if d.cfg.WearLevelEvery > 0 && d.res.Writes%int64(d.cfg.WearLevelEvery) == 0 {
+		// Static wear leveling rides along as background work.
+		const spreadThreshold = 64
+		if wlOps, did := d.ftl.LevelWear(spreadThreshold); did {
+			d.chanFree[ch] += d.opsTime(wlOps)
+		}
+	}
+	return resp, nil
+}
+
+// Migrate rewrites lpn into the given pool in the background (AccessEval
+// data conversion): it charges flash busy time but produces no user-
+// visible response-time sample.
+func (d *Device) Migrate(now time.Duration, lpn uint64, state ftl.BlockState) error {
+	ppn, ops, err := d.ftl.Migrate(lpn, state)
+	if err != nil {
+		return err
+	}
+	d.ageOffset[ppn] = 0
+	d.progTime[ppn] = now
+	ch := d.channelOf(int(ppn) / d.cfg.FTL.PagesPerBlock)
+	if d.chanFree[ch] < now {
+		d.chanFree[ch] = now
+	}
+	d.chanFree[ch] += d.opsTime(ops)
+	return nil
+}
+
+// Results returns a snapshot of the accumulated metrics.
+func (d *Device) Results() Results {
+	r := d.res
+	r.FTL = d.ftl.Stats()
+	return r
+}
+
+// Now returns the time at which every flash channel is idle — a
+// convenient "current device time" for callers scheduling background
+// work.
+func (d *Device) Now() time.Duration {
+	var max time.Duration
+	for _, t := range d.chanFree {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}

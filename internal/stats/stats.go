@@ -1,0 +1,259 @@
+// Package stats provides small statistical accumulators used across the
+// FlexLevel simulator: streaming mean/variance, percentile estimation via
+// sorted samples, fixed-bucket histograms, and normalized comparison
+// helpers used by the experiment harnesses.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator tracks count, mean, variance (Welford), min and max of a
+// stream of float64 observations. The zero value is ready to use.
+type Accumulator struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// AddN records the same observation n times.
+func (a *Accumulator) AddN(x float64, n int64) {
+	for i := int64(0); i < n; i++ {
+		a.Add(x)
+	}
+}
+
+// N returns the number of observations recorded.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.mean
+}
+
+// Sum returns the total of all observations.
+func (a *Accumulator) Sum() float64 { return a.mean * float64(a.n) }
+
+// Variance returns the (population) variance.
+func (a *Accumulator) Variance() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// Stddev returns the population standard deviation.
+func (a *Accumulator) Stddev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Merge folds other into a.
+func (a *Accumulator) Merge(other *Accumulator) {
+	if other.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *other
+		return
+	}
+	n := a.n + other.n
+	d := other.mean - a.mean
+	mean := a.mean + d*float64(other.n)/float64(n)
+	m2 := a.m2 + other.m2 + d*d*float64(a.n)*float64(other.n)/float64(n)
+	if other.min < a.min {
+		a.min = other.min
+	}
+	if other.max > a.max {
+		a.max = other.max
+	}
+	a.n, a.mean, a.m2 = n, mean, m2
+}
+
+// Reset clears the accumulator.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// String summarizes the accumulator for logging.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g",
+		a.n, a.Mean(), a.Stddev(), a.min, a.max)
+}
+
+// Sample keeps every observation and answers percentile queries exactly.
+// Use for response-time distributions where tail percentiles matter.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns a Sample pre-allocated for capacity hint n.
+func NewSample(n int) *Sample { return &Sample{xs: make([]float64, 0, n)} }
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. Returns 0 with no observations.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Histogram counts observations into equal-width buckets over [Lo, Hi).
+// Observations outside the range land in the under/overflow counters.
+type Histogram struct {
+	Lo, Hi    float64
+	Buckets   []int64
+	Underflow int64
+	Overflow  int64
+	total     int64
+}
+
+// NewHistogram builds a histogram with n equal-width buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if !(hi > lo) {
+		panic("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i >= len(h.Buckets) { // guard float roundoff at the upper edge
+			i = len(h.Buckets) - 1
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Total returns the number of observations including out-of-range ones.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BucketMid returns the midpoint value of bucket i.
+func (h *Histogram) BucketMid(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Normalize expresses each value in xs relative to base (base maps to 1.0).
+// A zero base yields all zeros to avoid NaNs in report tables.
+func Normalize(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	if base == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive entries.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

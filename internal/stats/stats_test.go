@@ -1,0 +1,283 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		a.Add(x)
+	}
+	if a.N() != 5 {
+		t.Fatalf("N = %d, want 5", a.N())
+	}
+	if !almostEq(a.Mean(), 3, 1e-12) {
+		t.Errorf("Mean = %g, want 3", a.Mean())
+	}
+	if !almostEq(a.Variance(), 2, 1e-12) {
+		t.Errorf("Variance = %g, want 2", a.Variance())
+	}
+	if a.Min() != 1 || a.Max() != 5 {
+		t.Errorf("Min/Max = %g/%g, want 1/5", a.Min(), a.Max())
+	}
+	if !almostEq(a.Sum(), 15, 1e-12) {
+		t.Errorf("Sum = %g, want 15", a.Sum())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.Stddev() != 0 {
+		t.Errorf("empty accumulator should report zeros, got %v", a.String())
+	}
+}
+
+func TestAccumulatorAddN(t *testing.T) {
+	var a, b Accumulator
+	a.AddN(7, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(7)
+	}
+	if a.N() != b.N() || !almostEq(a.Mean(), b.Mean(), 1e-12) {
+		t.Errorf("AddN mismatch: %v vs %v", a.String(), b.String())
+	}
+}
+
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var whole, left, right Accumulator
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		whole.Add(x)
+		if i%2 == 0 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(&right)
+	if left.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", left.N(), whole.N())
+	}
+	if !almostEq(left.Mean(), whole.Mean(), 1e-9) {
+		t.Errorf("merged mean = %g, want %g", left.Mean(), whole.Mean())
+	}
+	if !almostEq(left.Variance(), whole.Variance(), 1e-9) {
+		t.Errorf("merged variance = %g, want %g", left.Variance(), whole.Variance())
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Errorf("merged min/max = %g/%g, want %g/%g",
+			left.Min(), left.Max(), whole.Min(), whole.Max())
+	}
+}
+
+func TestAccumulatorMergeEmptySides(t *testing.T) {
+	var a, empty Accumulator
+	a.Add(2)
+	a.Merge(&empty)
+	if a.N() != 1 || a.Mean() != 2 {
+		t.Errorf("merge with empty rhs changed accumulator: %v", a.String())
+	}
+	var b Accumulator
+	b.Merge(&a)
+	if b.N() != 1 || b.Mean() != 2 {
+		t.Errorf("merge into empty lhs wrong: %v", b.String())
+	}
+}
+
+func TestAccumulatorMeanWithinBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Accumulator
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true // skip inputs whose moments overflow float64
+			}
+			a.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if a.N() == 0 {
+			return true
+		}
+		// Mean must lie within [min, max] up to roundoff.
+		span := math.Max(1, hi-lo)
+		return a.Mean() >= lo-1e-9*span && a.Mean() <= hi+1e-9*span
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	s := NewSample(101)
+	for i := 100; i >= 0; i-- { // reverse order: Percentile must sort
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 0}, {50, 50}, {100, 100}, {25, 25}, {95, 95},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if !almostEq(s.Median(), 50, 1e-9) {
+		t.Errorf("Median = %g, want 50", s.Median())
+	}
+	if !almostEq(s.Mean(), 50, 1e-9) {
+		t.Errorf("Mean = %g, want 50", s.Mean())
+	}
+}
+
+func TestSampleInterpolation(t *testing.T) {
+	s := NewSample(2)
+	s.Add(0)
+	s.Add(10)
+	if got := s.Percentile(50); !almostEq(got, 5, 1e-9) {
+		t.Errorf("Percentile(50) of {0,10} = %g, want 5", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(0)
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.N() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+}
+
+func TestSamplePercentileMonotone(t *testing.T) {
+	f := func(raw []float64, seed int64) bool {
+		s := NewSample(len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	for i, c := range h.Buckets {
+		if c != 1 {
+			t.Errorf("bucket %d = %d, want 1", i, c)
+		}
+	}
+	if h.Underflow != 1 || h.Overflow != 1 {
+		t.Errorf("under/overflow = %d/%d, want 1/1", h.Underflow, h.Overflow)
+	}
+	if h.Total() != 12 {
+		t.Errorf("Total = %d, want 12", h.Total())
+	}
+	if mid := h.BucketMid(0); !almostEq(mid, 0.5, 1e-12) {
+		t.Errorf("BucketMid(0) = %g, want 0.5", mid)
+	}
+}
+
+func TestHistogramEdge(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(0) // lower edge inclusive
+	if h.Buckets[0] != 1 {
+		t.Error("lower edge should land in bucket 0")
+	}
+	h.Add(1) // upper edge exclusive
+	if h.Overflow != 1 {
+		t.Error("upper edge should overflow")
+	}
+	h.Add(math.Nextafter(1, 0)) // just below the top edge
+	if h.Buckets[3] != 1 {
+		t.Error("value just below hi should land in last bucket")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	assertPanics(t, func() { NewHistogram(0, 1, 0) })
+	assertPanics(t, func() { NewHistogram(1, 1, 4) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Errorf("Normalize[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	zeros := Normalize([]float64{1, 2}, 0)
+	if zeros[0] != 0 || zeros[1] != 0 {
+		t.Error("Normalize with zero base should return zeros")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); !almostEq(g, 10, 1e-9) {
+		t.Errorf("GeoMean(1,100) = %g, want 10", g)
+	}
+	if g := GeoMean([]float64{-1, 0}); g != 0 {
+		t.Errorf("GeoMean of non-positive = %g, want 0", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %g, want 0", g)
+	}
+}
+
+func TestMeanSlice(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); !almostEq(m, 2, 1e-12) {
+		t.Errorf("Mean = %g, want 2", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %g, want 0", m)
+	}
+}
+
+func TestAccumulatorGaussianMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a Accumulator
+	for i := 0; i < 200000; i++ {
+		a.Add(rng.NormFloat64()*2 + 5)
+	}
+	if !almostEq(a.Mean(), 5, 0.05) {
+		t.Errorf("Mean = %g, want ~5", a.Mean())
+	}
+	if !almostEq(a.Stddev(), 2, 0.05) {
+		t.Errorf("Stddev = %g, want ~2", a.Stddev())
+	}
+}

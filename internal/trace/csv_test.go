@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	w, err := ByName("win-1", 500, 4096, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reqs) {
+		t.Fatalf("%d requests after round trip, want %d", len(back), len(reqs))
+	}
+	for i := range reqs {
+		// Arrival is truncated to microseconds by the format.
+		want := reqs[i]
+		want.Arrival = want.Arrival.Truncate(time.Microsecond)
+		if back[i] != want {
+			t.Fatalf("request %d: %+v != %+v", i, back[i], want)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                                        // empty
+		"bogus header\n1,read,2,3\n",              // wrong header
+		"arrival_us,op,lpn,pages\n1,read,2\n",     // missing field
+		"arrival_us,op,lpn,pages\nx,read,2,3\n",   // bad arrival
+		"arrival_us,op,lpn,pages\n-5,read,2,3\n",  // negative arrival
+		"arrival_us,op,lpn,pages\n1,erase,2,3\n",  // bad op
+		"arrival_us,op,lpn,pages\n1,read,x,3\n",   // bad lpn
+		"arrival_us,op,lpn,pages\n1,read,2,0\n",   // zero pages
+		"arrival_us,op,lpn,pages\n1,read,2,abc\n", // bad pages
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: malformed CSV accepted: %q", i, c)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	in := "arrival_us,op,lpn,pages\n\n1,read,2,3\n\n5,write,7,1\n"
+	reqs, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("%d requests, want 2", len(reqs))
+	}
+	if reqs[0].Op != Read || reqs[1].Op != Write {
+		t.Error("ops parsed wrong")
+	}
+	if reqs[1].Arrival != 5*time.Microsecond {
+		t.Errorf("arrival = %v, want 5µs", reqs[1].Arrival)
+	}
+}
+
+func TestCSVPropertyRoundTrip(t *testing.T) {
+	f := func(raw []struct {
+		US    uint32
+		Write bool
+		LPN   uint32
+		Pages uint8
+	}) bool {
+		reqs := make([]Request, 0, len(raw))
+		for _, r := range raw {
+			op := Read
+			if r.Write {
+				op = Write
+			}
+			reqs = append(reqs, Request{
+				Arrival: time.Duration(r.US) * time.Microsecond,
+				Op:      op,
+				LPN:     uint64(r.LPN),
+				Pages:   1 + int(r.Pages%64),
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, reqs); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(reqs) {
+			return false
+		}
+		for i := range reqs {
+			if back[i] != reqs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
