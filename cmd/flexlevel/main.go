@@ -11,6 +11,7 @@
 //	flexlevel ecc                hard-decision BCH vs soft LDPC capability
 //	flexlevel retshare           retention-error share by Vth level (§4.2)
 //	flexlevel replay -trace f    replay a CSV or MSR trace file
+//	flexlevel reliability [-faults m]  fault-injection sweep: bad blocks, degradation
 //	flexlevel all   [-n N]       everything above in order
 package main
 
@@ -26,7 +27,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|all> [-n requests] [-seed s] [-pe cycles] [-trace file -format csv|msr]")
+	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|all> [-n requests] [-seed s] [-pe cycles] [-faults m] [-trace file -format csv|msr]")
 	os.Exit(2)
 }
 
@@ -39,6 +40,7 @@ func main() {
 	n := fs.Int("n", 60000, "requests per workload for system experiments")
 	seed := fs.Int64("seed", 1, "workload generator seed")
 	pe := fs.Int("pe", 6000, "P/E cycle point for fig6a/fig7/ablations")
+	faults := fs.Float64("faults", 1, "fault-rate multiplier for the reliability sweep (0 disables injection)")
 	traceFile := fs.String("trace", "", "trace file for the replay subcommand")
 	format := fs.String("format", "csv", "trace file format: csv (tracegen) or msr (MSR-Cambridge)")
 	csvDir := fs.String("csv", "", "also write plotting-friendly CSV artifacts into this directory")
@@ -172,6 +174,19 @@ func main() {
 			exp.PrintRetentionShares(os.Stdout, rows, avg)
 		case "replay":
 			return replay(*traceFile, *format, *pe)
+		case "reliability":
+			scales := []float64{0}
+			if m := *faults; m > 0 {
+				scales = append(scales, 0.25*m, m, 4*m)
+			}
+			rows, err := exp.Reliability(cfg, scales)
+			if err != nil {
+				return err
+			}
+			exp.PrintReliability(os.Stdout, rows)
+			if err := writeCSV("reliability.csv", func(f *os.File) error { return exp.WriteReliabilityCSV(f, rows) }); err != nil {
+				return err
+			}
 		default:
 			usage()
 		}
@@ -180,7 +195,7 @@ func main() {
 
 	var names []string
 	if cmd == "all" {
-		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare"}
+		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare", "reliability"}
 	} else {
 		names = []string{cmd}
 	}

@@ -79,8 +79,10 @@ func TestOracle(t *testing.T) {
 	}
 }
 
-// Property: every policy's attempt sequence is non-empty, strictly
-// increasing, and ends at a level >= required.
+// Property: every policy's attempt sequence is non-empty, non-negative,
+// strictly increasing, and ends at a level >= required. (The ssd.Read
+// fast path indexes attempts[len-1] and charges each level's latency, so
+// the simulator depends on every clause.)
 func TestPolicyContract(t *testing.T) {
 	policies := []ReadPolicy{
 		FixedWorstCase{Levels: 3},
@@ -93,6 +95,9 @@ func TestPolicyContract(t *testing.T) {
 		for _, p := range policies {
 			got := p.Attempts(block, required)
 			if len(got) == 0 {
+				return false
+			}
+			if got[0] < 0 {
 				return false
 			}
 			for i := 1; i < len(got); i++ {
@@ -108,5 +113,18 @@ func TestPolicyContract(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+	// Forget contract: any policy with per-block memory must restart the
+	// block at hard-decision sensing after an erase.
+	for _, p := range policies {
+		forgetter, ok := p.(interface{ Forget(int) })
+		if !ok {
+			continue
+		}
+		p.Attempts(3, 7)
+		forgetter.Forget(3)
+		if got := p.Attempts(3, 0); len(got) != 1 || got[0] != 0 {
+			t.Errorf("%s: Attempts after Forget = %v, want [0]", p.Name(), got)
+		}
 	}
 }

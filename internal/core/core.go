@@ -13,6 +13,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -110,6 +111,20 @@ type Metrics struct {
 	ReducedPages int
 
 	LevelHist [8]int64 // final sensing level per read
+
+	// Reliability outcomes (nonzero only when fault injection is on).
+	Reads               int64
+	RetiredBlocks       int64
+	ProgramFailures     int64
+	EraseFailures       int64
+	GrownBadBlocks      int64
+	SparesUsed          int64
+	WritesRejected      int64
+	WriteFailures       int64
+	TransientReadFaults int64
+	ReadRetries         int64
+	DataLoss            int64
+	Degraded            bool
 }
 
 // berModels builds the closed-form BER functions for the two states.
@@ -301,15 +316,25 @@ func (r *Runner) read(now time.Duration, lpn uint64) error {
 	dec := r.ctrl.OnRead(lpn, levels)
 	for _, victim := range dec.Evict {
 		if err := r.device.Migrate(now, victim, ftl.NormalState); err != nil {
+			if migrationSkippable(err) {
+				continue
+			}
 			return fmt.Errorf("core: evict lpn %d: %w", victim, err)
 		}
 	}
 	if dec.Migrate {
-		if err := r.device.Migrate(now, lpn, ftl.ReducedState); err != nil {
+		if err := r.device.Migrate(now, lpn, ftl.ReducedState); err != nil && !migrationSkippable(err) {
 			return fmt.Errorf("core: migrate lpn %d: %w", lpn, err)
 		}
 	}
 	return nil
+}
+
+// migrationSkippable reports whether a background pool conversion may be
+// silently skipped: a degraded or write-failing device keeps serving the
+// data from its current pool, so AccessEval migrations are best-effort.
+func migrationSkippable(err error) bool {
+	return errors.Is(err, ftl.ErrDegraded) || errors.Is(err, ftl.ErrWriteFailed)
 }
 
 func (r *Runner) metrics(workload string) Metrics {
@@ -329,6 +354,18 @@ func (r *Runner) metrics(workload string) Metrics {
 		ReducedPages:  r.device.FTL().ReducedPages(),
 	}
 	copy(m.LevelHist[:], res.LevelHist[:])
+	m.Reads = res.Reads
+	m.RetiredBlocks = res.FTL.RetiredBlocks
+	m.ProgramFailures = res.FTL.ProgramFailures
+	m.EraseFailures = res.FTL.EraseFailures
+	m.GrownBadBlocks = res.FTL.GrownBadBlocks
+	m.SparesUsed = res.FTL.SparesUsed
+	m.WritesRejected = res.WritesRejected
+	m.WriteFailures = res.WriteFailures
+	m.TransientReadFaults = res.TransientReadFaults
+	m.ReadRetries = res.ReadRetries
+	m.DataLoss = res.DataLoss
+	m.Degraded = r.device.Degraded()
 	if r.ctrl != nil {
 		m.Migrations = r.ctrl.Migrations()
 		m.Evictions = r.ctrl.Evictions()

@@ -7,8 +7,22 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
+
+	"flexlevel/internal/fault"
 )
+
+// ErrDegraded is returned by Write/Migrate once the device has lost so
+// many blocks to retirement that it can no longer hold the logical space
+// plus GC headroom: reads keep working, writes are rejected (a real
+// controller goes read-only rather than corrupting data).
+var ErrDegraded = errors.New("ftl: degraded mode, writes disabled (bad blocks exceed spare capacity)")
+
+// ErrWriteFailed is returned when a program failed on MaxProgramRetries
+// consecutive fresh blocks; the previous mapping of the page (if any) is
+// left intact.
+var ErrWriteFailed = errors.New("ftl: program retries exhausted")
 
 // BlockState mirrors the LevelAdjust cell state at block granularity.
 type BlockState int
@@ -41,7 +55,20 @@ type Config struct {
 	GCTarget    int
 	// InitialPE pre-ages every block to the experiment's P/E point.
 	InitialPE int
+	// SpareBlocks reserves that many blocks out of the physical space as
+	// replacements for grown bad blocks: a retirement pulls one spare
+	// into service so capacity (and GC headroom) is preserved until the
+	// pool runs dry. 0 means no reserved spares.
+	SpareBlocks int
+	// MaxProgramRetries bounds how many fresh blocks a failing page
+	// program is retried on before the write errs out. 0 selects
+	// DefaultProgramRetries.
+	MaxProgramRetries int
 }
+
+// DefaultProgramRetries is the program-retry bound when
+// Config.MaxProgramRetries is zero.
+const DefaultProgramRetries = 3
 
 // DefaultConfig returns the scaled evaluation system: a 512MB logical
 // space (1/512 of the paper's 256GB) at 16KB pages with 27%
@@ -86,7 +113,29 @@ func (c Config) Validate() error {
 	if c.InitialPE < 0 {
 		return fmt.Errorf("ftl: negative initial P/E")
 	}
+	if c.SpareBlocks < 0 {
+		return fmt.Errorf("ftl: negative spare-block count")
+	}
+	if c.SpareBlocks >= c.Blocks {
+		return fmt.Errorf("ftl: spare blocks %d not below total blocks %d", c.SpareBlocks, c.Blocks)
+	}
+	inService := uint64(c.PagesPerBlock) * uint64(c.Blocks-c.SpareBlocks)
+	if inService <= c.LogicalPages {
+		return fmt.Errorf("ftl: in-service pages %d (after %d spares) not above logical %d",
+			inService, c.SpareBlocks, c.LogicalPages)
+	}
+	if c.MaxProgramRetries < 0 {
+		return fmt.Errorf("ftl: negative program-retry bound")
+	}
 	return nil
+}
+
+// programRetries returns the effective program-retry bound.
+func (c Config) programRetries() int {
+	if c.MaxProgramRetries > 0 {
+		return c.MaxProgramRetries
+	}
+	return DefaultProgramRetries
 }
 
 // OpCount tallies the physical operations one FTL call performed, for
@@ -114,6 +163,14 @@ type Stats struct {
 	CopyReads         int64
 	Erases            int64
 	GCRuns            int64
+
+	// Fault handling / bad-block management.
+	ProgramFailures int64 // page programs whose status read reported failure
+	EraseFailures   int64 // erases whose status read reported failure
+	GrownBadBlocks  int64 // blocks retired by the wear-out screen after a good erase
+	RetiredBlocks   int64 // total blocks taken out of service
+	SparesUsed      int64 // retirements backfilled from the spare pool
+	RetireCopies    int64 // valid pages relocated off retiring blocks
 }
 
 // TotalPrograms returns all page programs performed.
@@ -146,12 +203,17 @@ type FTL struct {
 	blockUsed  []int // pages programmed in block (valid + invalid)
 	blockState []BlockState
 	blockPE    []int
-	free       []int // free (erased) block indexes, LIFO
+	free       []int  // free (erased) block indexes, LIFO
+	bad        []bool // retired (grown bad) blocks, never reused
+	spare      []int  // reserved replacement blocks, pristine until used
 
 	active map[BlockState]*activeBlock
 
 	stats     Stats
 	wearSwaps int64
+	retired   int  // lifetime bad-block count (survives ResetStats)
+	degraded  bool
+	inRetire  bool // suppress nested faults while relocating off a bad block
 
 	// OnRelocate, when set, is called for every page the FTL moves
 	// (GC copies), letting the caller refresh per-page metadata such as
@@ -160,6 +222,12 @@ type FTL struct {
 	// OnErase, when set, is called whenever a block is erased, letting
 	// read-retry policies drop per-block state.
 	OnErase func(block int)
+	// Fault, when set, is consulted before the status of each physical
+	// program and erase, and after each successful erase for the grown-
+	// bad-block screen (fault.Program / fault.Erase / fault.Grown). A
+	// true return injects the failure; the FTL handles retirement,
+	// remapping and retry itself.
+	Fault func(op fault.Op, block, pe int) bool
 }
 
 // New builds an FTL with every block free and in the normal state.
@@ -184,8 +252,15 @@ func New(cfg Config) (*FTL, error) {
 	for i := range f.blockPE {
 		f.blockPE[i] = cfg.InitialPE
 	}
+	f.bad = make([]bool, cfg.Blocks)
+	// The highest-numbered blocks form the reserved spare pool; the rest
+	// start free and in service.
+	f.spare = make([]int, 0, cfg.SpareBlocks)
+	for b := cfg.Blocks - cfg.SpareBlocks; b < cfg.Blocks; b++ {
+		f.spare = append(f.spare, b)
+	}
 	f.free = make([]int, 0, cfg.Blocks)
-	for b := cfg.Blocks - 1; b >= 0; b-- {
+	for b := cfg.Blocks - cfg.SpareBlocks - 1; b >= 0; b-- {
 		f.free = append(f.free, b)
 	}
 	f.active = map[BlockState]*activeBlock{}
@@ -200,6 +275,16 @@ func (f *FTL) Stats() Stats { return f.stats }
 
 // FreeBlocks returns the current free-block count.
 func (f *FTL) FreeBlocks() int { return len(f.free) }
+
+// SpareBlocksLeft returns how many reserved spares remain unused.
+func (f *FTL) SpareBlocksLeft() int { return len(f.spare) }
+
+// Degraded reports whether the FTL has entered degraded mode: reads are
+// still served but Write/Migrate return ErrDegraded.
+func (f *FTL) Degraded() bool { return f.degraded }
+
+// BadBlock reports whether block b has been retired.
+func (f *FTL) BadBlock(b int) bool { return f.bad[b] }
 
 // BlockPE returns the P/E count of block b.
 func (f *FTL) BlockPE(b int) int { return f.blockPE[b] }
@@ -274,9 +359,16 @@ func (f *FTL) Write(lpn uint64, state BlockState) (int64, OpCount, error) {
 	if lpn >= f.cfg.LogicalPages {
 		return 0, ops, fmt.Errorf("ftl: lpn %d out of range", lpn)
 	}
+	if f.degraded {
+		return 0, ops, ErrDegraded
+	}
+	old := f.l2p[lpn]
 	f.invalidate(lpn)
 	newPPN, err := f.appendPage(lpn, state, &ops)
 	if err != nil {
+		// Re-establish the previous mapping: a rejected write must not
+		// lose the stored data.
+		f.restoreMapping(lpn, old)
 		return 0, ops, err
 	}
 	f.stats.UserPrograms++
@@ -304,11 +396,16 @@ func (f *FTL) Migrate(lpn uint64, state BlockState) (int64, OpCount, error) {
 	if !f.Mapped(lpn) {
 		return 0, ops, fmt.Errorf("ftl: migrate of unmapped lpn %d", lpn)
 	}
+	if f.degraded {
+		return 0, ops, ErrDegraded
+	}
 	ops.CopyReads++
 	f.stats.CopyReads++
+	old := f.l2p[lpn]
 	f.invalidate(lpn)
 	newPPN, err := f.appendPage(lpn, state, &ops)
 	if err != nil {
+		f.restoreMapping(lpn, old)
 		return 0, ops, err
 	}
 	f.stats.MigrationPrograms++
@@ -327,25 +424,127 @@ func (f *FTL) invalidate(lpn uint64) {
 	f.l2p[lpn] = unmapped
 }
 
-// appendPage places lpn on the active block of the given state,
-// allocating a fresh block when needed.
-func (f *FTL) appendPage(lpn uint64, state BlockState, ops *OpCount) (int64, error) {
-	ab := f.active[state]
-	if ab == nil || ab.nextPage >= f.usablePages(state) {
-		b, err := f.allocBlock(state)
-		if err != nil {
-			return 0, err
-		}
-		ab = &activeBlock{block: b}
-		f.active[state] = ab
+// restoreMapping re-establishes a mapping undone by invalidate when the
+// rewrite that followed it failed. A no-op for previously-unmapped pages.
+func (f *FTL) restoreMapping(lpn uint64, old int64) {
+	if old == unmapped {
+		return
 	}
-	p := f.ppn(ab.block, ab.nextPage)
-	ab.nextPage++
-	f.blockUsed[ab.block]++
-	f.l2p[lpn] = p
-	f.p2l[p] = int64(lpn)
-	f.blockValid[ab.block]++
-	return p, nil
+	f.l2p[lpn] = old
+	f.p2l[old] = int64(lpn)
+	f.blockValid[f.blockOf(old)]++
+}
+
+// failProgram consults the fault hook for a page program on block b.
+// Faults are suppressed while relocating off a retiring block: the
+// relocation is already the failure path, and a nested fault there
+// (vanishingly rare on silicon) would recurse.
+func (f *FTL) failProgram(b int) bool {
+	return f.Fault != nil && !f.inRetire && f.Fault(fault.Program, b, f.blockPE[b])
+}
+
+// appendPage places lpn on the active block of the given state,
+// allocating a fresh block when needed. A program-status failure retires
+// the target block (its earlier pages are remapped elsewhere) and the
+// program is replayed on a fresh block, up to the configured retry
+// bound; every failed attempt is still charged as a program.
+func (f *FTL) appendPage(lpn uint64, state BlockState, ops *OpCount) (int64, error) {
+	for retries := 0; ; retries++ {
+		ab := f.active[state]
+		if ab == nil || ab.nextPage >= f.usablePages(state) {
+			b, err := f.allocBlock(state)
+			if err != nil {
+				return 0, err
+			}
+			ab = &activeBlock{block: b}
+			f.active[state] = ab
+		}
+		p := f.ppn(ab.block, ab.nextPage)
+		ab.nextPage++
+		f.blockUsed[ab.block]++
+		if f.failProgram(ab.block) {
+			ops.Programs++ // the failed pulse sequence still costs tPROG
+			f.stats.ProgramFailures++
+			f.retire(ab.block, ops)
+			if retries >= f.cfg.programRetries() {
+				return 0, ErrWriteFailed
+			}
+			continue
+		}
+		f.l2p[lpn] = p
+		f.p2l[p] = int64(lpn)
+		f.blockValid[ab.block]++
+		return p, nil
+	}
+}
+
+// retire takes block b out of service: it is marked bad, its remaining
+// valid pages are remapped to fresh blocks (remap-and-replay), and a
+// spare block — if one is left — backfills the lost capacity. With the
+// spare pool dry, capacity shrinks; once it cannot hold the logical
+// space plus GC headroom the FTL enters degraded mode.
+func (f *FTL) retire(b int, ops *OpCount) {
+	f.bad[b] = true
+	f.retired++
+	f.stats.RetiredBlocks++
+	for state, ab := range f.active {
+		if ab != nil && ab.block == b {
+			f.active[state] = nil
+		}
+	}
+	state := f.blockState[b]
+	wasRetiring := f.inRetire
+	f.inRetire = true
+	base := f.ppn(b, 0)
+	for p := 0; p < f.cfg.PagesPerBlock; p++ {
+		old := base + int64(p)
+		lpn := f.p2l[old]
+		if lpn == unmapped {
+			continue
+		}
+		f.p2l[old] = unmapped
+		f.blockValid[b]--
+		f.l2p[lpn] = unmapped
+		newPPN, err := f.appendPage(uint64(lpn), state, ops)
+		if err != nil {
+			// No room to relocate: keep the page mapped where it is. A
+			// bad block's programmed data stays readable; the block is
+			// simply never erased or programmed again.
+			f.restoreMapping(uint64(lpn), old)
+			break
+		}
+		ops.CopyReads++
+		ops.Programs++
+		f.stats.CopyReads++
+		f.stats.RetireCopies++
+		if f.OnRelocate != nil {
+			f.OnRelocate(uint64(lpn), old, newPPN)
+		}
+	}
+	f.inRetire = wasRetiring
+	if len(f.spare) > 0 {
+		s := f.spare[len(f.spare)-1]
+		f.spare = f.spare[:len(f.spare)-1]
+		f.free = append(f.free, s)
+		f.stats.SparesUsed++
+	}
+	f.checkDegraded()
+}
+
+// checkDegraded flips the FTL into degraded mode when the surviving
+// blocks can no longer hold the logical space plus GC headroom. The
+// check assumes full (normal-state) block capacity, so it is the
+// last-resort floor; reduced-state pools may stall GC slightly earlier
+// and surface as ErrWriteFailed/alloc errors instead.
+func (f *FTL) checkDegraded() {
+	// Unused spares live inside cfg.Blocks, so every non-retired block —
+	// free, programmed, or reserved — is surviving capacity.
+	surviving := f.cfg.Blocks - f.retired
+	capacity := uint64(surviving) * uint64(f.cfg.PagesPerBlock)
+	need := f.cfg.LogicalPages + uint64(f.cfg.GCTarget)*uint64(f.cfg.PagesPerBlock)
+	if capacity < need {
+		f.degraded = true
+	}
 }
 
 // allocBlock hands out the least-worn free block (dynamic wear
@@ -394,8 +593,8 @@ func (f *FTL) pickVictim() int {
 	best, bestValid := -1, 1<<31
 	for b := 0; b < f.cfg.Blocks; b++ {
 		usable := f.usablePages(f.blockState[b])
-		if f.isActive(b) || f.blockUsed[b] < usable {
-			continue // still open or free
+		if f.bad[b] || f.isActive(b) || f.blockUsed[b] < usable {
+			continue // retired, still open, or free
 		}
 		if f.blockUsed[b] == 0 || f.blockValid[b] >= usable {
 			continue // free, or fully valid: no garbage to reclaim
@@ -450,13 +649,29 @@ func (f *FTL) reclaim(victim int, ops *OpCount) bool {
 		}
 	}
 	f.blockUsed[victim] = 0
+	if f.Fault != nil && f.Fault(fault.Erase, victim, f.blockPE[victim]) {
+		// Erase-status failure: the erase pulse was spent but the block
+		// would not clear — retire it instead of returning it to the
+		// free pool. All data was relocated above, so nothing is lost.
+		ops.Erases++
+		f.stats.EraseFailures++
+		f.retire(victim, ops)
+		return true
+	}
 	f.blockPE[victim]++
 	f.stats.Erases++
 	ops.Erases++
-	f.free = append(f.free, victim)
 	if f.OnErase != nil {
 		f.OnErase(victim)
 	}
+	if f.Fault != nil && f.Fault(fault.Grown, victim, f.blockPE[victim]) {
+		// Wear-out screen after a good erase: the block is detected as
+		// end-of-life (a grown bad block) and retired before reuse.
+		f.stats.GrownBadBlocks++
+		f.retire(victim, ops)
+		return true
+	}
+	f.free = append(f.free, victim)
 	return true
 }
 

@@ -58,7 +58,7 @@ func (f *FTL) LevelWear(threshold int) (OpCount, bool) {
 	victim := -1
 	for b := 0; b < f.cfg.Blocks; b++ {
 		usable := f.usablePages(f.blockState[b])
-		if f.isActive(b) || f.blockUsed[b] < usable || f.blockValid[b] == 0 {
+		if f.bad[b] || f.isActive(b) || f.blockUsed[b] < usable || f.blockValid[b] == 0 {
 			continue
 		}
 		if victim == -1 || f.blockPE[b] < f.blockPE[victim] {

@@ -7,11 +7,14 @@
 package ssd
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
 	"flexlevel/internal/baseline"
+	"flexlevel/internal/fault"
 	"flexlevel/internal/ftl"
 	"flexlevel/internal/sensing"
 	"flexlevel/internal/stats"
@@ -57,8 +60,23 @@ type Config struct {
 	// after every N user writes.
 	WearLevelEvery int
 
+	// Faults configures the deterministic fault injector (program/erase
+	// failures, grown bad blocks, transient uncorrectable reads). The
+	// zero value disables injection entirely and leaves every result
+	// bit-identical to a fault-free device.
+	Faults fault.Config
+
+	// MaxReadRetries bounds how many escalating re-reads a transient
+	// read fault may trigger before the page is declared lost. 0 selects
+	// DefaultReadRetries.
+	MaxReadRetries int
+
 	Seed int64
 }
+
+// DefaultReadRetries is the transient-read-retry bound when
+// Config.MaxReadRetries is zero.
+const DefaultReadRetries = 3
 
 // DefaultConfig returns the scaled paper evaluation system.
 func DefaultConfig() Config {
@@ -99,7 +117,21 @@ func (c Config) Validate() error {
 	if c.RefreshAboveLevels < 0 {
 		return fmt.Errorf("ssd: negative refresh threshold")
 	}
+	if c.MaxReadRetries < 0 {
+		return fmt.Errorf("ssd: negative read-retry bound")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// readRetries returns the effective transient-read-retry bound.
+func (c Config) readRetries() int {
+	if c.MaxReadRetries > 0 {
+		return c.MaxReadRetries
+	}
+	return DefaultReadRetries
 }
 
 // channels normalizes the configured channel count.
@@ -130,6 +162,22 @@ type Results struct {
 	Unreadable int64
 	Refreshes  int64
 
+	// Fault handling and graceful degradation. Writes counts accepted
+	// user writes; WritesRejected the writes refused in degraded mode
+	// (spare pool exhausted) and WriteFailures the writes dropped after
+	// exhausting program retries. TransientReadFaults counts injected
+	// read faults, ReadRetries the escalating re-reads they triggered,
+	// and DataLoss the pages declared unrecoverable after the retry
+	// bound.
+	WritesRejected      int64
+	WriteFailures       int64
+	TransientReadFaults int64
+	ReadRetries         int64
+	DataLoss            int64
+
+	// Faults is a snapshot of the injector's activity counters.
+	Faults fault.Stats
+
 	FTL ftl.Stats
 }
 
@@ -148,8 +196,26 @@ type Device struct {
 	chanFree []time.Duration // per-channel busy-until time
 	res      Results
 	rng      *rand.Rand
+	inj       *fault.Injector // nil when fault injection is disabled
+	faultBase fault.Stats     // injector counters at the last measurement reset
 
-	levelCache map[float64]levelEntry // BER -> required levels
+	levelCache map[float64]levelEntry // quantized BER -> required levels
+}
+
+// levelCacheCap bounds the level cache; BER is a continuous input, so an
+// uncapped map would grow without limit on long runs. On overflow the
+// cache is simply reset (the memoized function is deterministic).
+const levelCacheCap = 8192
+
+// berKey quantizes a BER to ~1e-5 relative resolution in log space so
+// continuous BER values collapse onto a finite key set. The level rule's
+// step boundaries are orders of magnitude wider than the quantum, so the
+// quantization does not change computed levels in practice.
+func berKey(ber float64) float64 {
+	if ber <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Round(math.Log(ber) * 1e5)
 }
 
 type levelEntry struct {
@@ -183,6 +249,16 @@ func New(cfg Config, berOf BERFunc, policy baseline.ReadPolicy) (*Device, error)
 		progTime:   make([]time.Duration, phys),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		levelCache: make(map[float64]levelEntry),
+	}
+	if cfg.Faults.Enabled() {
+		inj, err := fault.New(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		d.inj = inj
+		// Program/erase/grown-bad faults are injected at the FTL, which
+		// owns retirement and remapping; read faults are injected here.
+		f.Fault = inj.Fails
 	}
 	d.chanFree = make([]time.Duration, cfg.channels())
 	d.res.ReadSample = stats.NewSample(0)
@@ -231,6 +307,7 @@ func (d *Device) ResetMeasurement() {
 		d.chanFree[i] = 0
 	}
 	d.res = Results{ReadSample: stats.NewSample(0)}
+	d.faultBase = d.inj.Stats()
 	d.ftl.ResetStats()
 }
 
@@ -260,11 +337,15 @@ func (d *Device) requiredLevels(lpn uint64, now time.Duration) (int, bool) {
 	block := int(ppn) / d.cfg.FTL.PagesPerBlock
 	pe := d.ftl.BlockPE(block)
 	ber := d.berOf(state, pe, d.ageHours(ppn, now))
-	if e, ok := d.levelCache[ber]; ok {
+	key := berKey(ber)
+	if e, ok := d.levelCache[key]; ok {
 		return e.levels, e.achievable
 	}
 	levels, achievable := d.cfg.Rule.RequiredLevels(ber)
-	d.levelCache[ber] = levelEntry{levels, achievable}
+	if len(d.levelCache) >= levelCacheCap {
+		d.levelCache = make(map[float64]levelEntry, levelCacheCap/4)
+	}
+	d.levelCache[key] = levelEntry{levels, achievable}
 	return levels, achievable
 }
 
@@ -283,6 +364,33 @@ func (d *Device) Read(now time.Duration, lpn uint64) (time.Duration, int) {
 		mapped = true
 	}
 	attempts := d.policy.Attempts(block, required)
+	if len(attempts) == 0 {
+		// Defensive fallback for a broken policy: a single hard-decision
+		// attempt instead of an index panic below.
+		attempts = []int{0}
+	}
+	if d.inj != nil && mapped {
+		// Transient uncorrectable reads: the decode fails despite the
+		// sensed levels, and the controller escalates — re-read at one
+		// more sensing level per retry, charged like any other attempt.
+		// A page still failing at the retry bound is declared lost.
+		pe := d.ftl.BlockPE(block)
+		retries := 0
+		for d.inj.Fails(fault.Read, block, pe) {
+			d.res.TransientReadFaults++
+			if retries >= d.cfg.readRetries() {
+				d.res.DataLoss++
+				break
+			}
+			retries++
+			level := required + retries
+			if level > sensing.MaxExtraLevels {
+				level = sensing.MaxExtraLevels
+			}
+			attempts = append(attempts, level)
+		}
+		d.res.ReadRetries += int64(retries)
+	}
 	var service time.Duration
 	for _, l := range attempts {
 		service += d.cfg.Timing.ReadLatency(l)
@@ -340,6 +448,31 @@ func (d *Device) opsTime(ops ftl.OpCount) time.Duration {
 func (d *Device) Write(now time.Duration, lpn uint64, state ftl.BlockState) (time.Duration, error) {
 	ppn, ops, err := d.ftl.Write(lpn, state)
 	if err != nil {
+		switch {
+		case errors.Is(err, ftl.ErrDegraded):
+			// Degraded mode: the write is refused at buffer latency, the
+			// previously stored data stays intact and readable.
+			d.res.WritesRejected++
+			resp := d.cfg.BufferLatency
+			d.res.WriteResp.Add(resp.Seconds())
+			d.res.OverallResp.Add(resp.Seconds())
+			return resp, nil
+		case errors.Is(err, ftl.ErrWriteFailed):
+			// Program retries exhausted: the write is dropped (its old
+			// mapping survives), but the failed attempts and relocations
+			// still occupied the flash. The failing block is unknown
+			// here, so the cost lands on channel 0 — exact for the
+			// single-channel calibrated device.
+			d.res.WriteFailures++
+			if d.chanFree[0] < now {
+				d.chanFree[0] = now
+			}
+			d.chanFree[0] += d.opsTime(ops)
+			resp := d.cfg.BufferLatency
+			d.res.WriteResp.Add(resp.Seconds())
+			d.res.OverallResp.Add(resp.Seconds())
+			return resp, nil
+		}
 		return 0, err
 	}
 	d.ageOffset[ppn] = 0
@@ -393,8 +526,13 @@ func (d *Device) Migrate(now time.Duration, lpn uint64, state ftl.BlockState) er
 func (d *Device) Results() Results {
 	r := d.res
 	r.FTL = d.ftl.Stats()
+	r.Faults = d.inj.Stats().Sub(d.faultBase)
 	return r
 }
+
+// Degraded reports whether the device has entered degraded mode: reads
+// are still served but new writes are rejected.
+func (d *Device) Degraded() bool { return d.ftl.Degraded() }
 
 // Now returns the time at which every flash channel is idle — a
 // convenient "current device time" for callers scheduling background
