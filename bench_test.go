@@ -19,6 +19,7 @@ import (
 	"flexlevel/internal/noise"
 	"flexlevel/internal/nunma"
 	"flexlevel/internal/reducecode"
+	"flexlevel/internal/runner"
 	"flexlevel/internal/sensing"
 	"flexlevel/internal/ssd"
 	"flexlevel/internal/trace"
@@ -35,7 +36,7 @@ func BenchmarkFig5C2CBER(b *testing.B) {
 	var rows []exp.Fig5Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = exp.Fig5()
+		rows, err = exp.Fig5(benchSim())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,7 +52,7 @@ func BenchmarkTable4RetentionBER(b *testing.B) {
 	var cells []exp.Table4Cell
 	for i := 0; i < b.N; i++ {
 		var err error
-		cells, err = exp.Table4()
+		cells, err = exp.Table4(benchSim())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +136,7 @@ func BenchmarkAblationEncoding(b *testing.B) {
 	var rows []exp.AblationEncoding
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = exp.EncodingAblation()
+		rows, err = exp.EncodingAblation(benchSim())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func BenchmarkAblationMargins(b *testing.B) {
 	var rows []exp.AblationMargin
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = exp.MarginAblation()
+		rows, err = exp.MarginAblation(benchSim())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func BenchmarkAblationRefTuning(b *testing.B) {
 	var rows []exp.RefTuneRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = exp.RefTuneAblation(6000, 720)
+		rows, err = exp.RefTuneAblation(benchSim(), 6000, 720)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -333,7 +334,7 @@ func BenchmarkHardECCStudy(b *testing.B) {
 	var rows []exp.HardECCRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = exp.HardECCStudy()
+		rows, err = exp.HardECCStudy(benchSim())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -455,4 +456,22 @@ func BenchmarkTraceGenerate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkReliabilityParallel runs the fault-injection sweep through
+// the experiment engine with all cores and reports the engine's own
+// speedup metric (summed shard time over wall time), so the CI
+// benchmark artifact tracks parallel efficiency across commits.
+func BenchmarkReliabilityParallel(b *testing.B) {
+	var speedup, opsPerSec float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchSim()
+		cfg.Parallel = 0 // all cores
+		cfg.OnSummary = func(s *runner.Summary) { speedup, opsPerSec = s.Speedup, s.OpsPerSec }
+		if _, err := exp.Reliability(cfg, []float64{0, 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(speedup, "x-speedup")
+	b.ReportMetric(opsPerSec, "sim-ops/s")
 }

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseBench(t *testing.T) {
+	b, ok := parseBench("BenchmarkFig6aResponseTime-8   \t       2\t 531202724 ns/op\t        41.25 %reduction\t 1234 B/op\t      56 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Name != "BenchmarkFig6aResponseTime" || b.Procs != 8 || b.Runs != 2 {
+		t.Errorf("name/procs/runs = %q/%d/%d", b.Name, b.Procs, b.Runs)
+	}
+	if b.NsPerOp != 531202724 || b.BytesPerOp != 1234 || b.AllocsPerOp != 56 {
+		t.Errorf("standard metrics = %v/%v/%v", b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+	if b.Metrics["%reduction"] != 41.25 {
+		t.Errorf("custom metric = %v", b.Metrics)
+	}
+}
+
+func TestParseBenchNoProcsSuffix(t *testing.T) {
+	b, ok := parseBench("BenchmarkX 10 5 ns/op")
+	if !ok || b.Name != "BenchmarkX" || b.Procs != 0 || b.NsPerOp != 5 {
+		t.Errorf("got %+v ok=%v", b, ok)
+	}
+}
+
+func TestParseBenchRejectsGarbage(t *testing.T) {
+	for _, line := range []string{"Benchmark", "BenchmarkX abc 5 ns/op"} {
+		if _, ok := parseBench(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}

@@ -22,12 +22,13 @@ import (
 
 	"flexlevel/internal/core"
 	"flexlevel/internal/exp"
+	"flexlevel/internal/runner"
 	"flexlevel/internal/sensing"
 	"flexlevel/internal/trace"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|all> [-n requests] [-seed s] [-pe cycles] [-faults m] [-trace file -format csv|msr]")
+	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-trace file -format csv|msr]")
 	os.Exit(2)
 }
 
@@ -38,8 +39,9 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	n := fs.Int("n", 60000, "requests per workload for system experiments")
-	seed := fs.Int64("seed", 1, "workload generator seed")
+	seed := fs.Int64("seed", 1, "master seed: workload generation and per-shard derived seeds")
 	pe := fs.Int("pe", 6000, "P/E cycle point for fig6a/fig7/ablations")
+	parallel := fs.Int("parallel", 0, "experiment engine workers (0 = all cores); results are byte-identical for any value")
 	faults := fs.Float64("faults", 1, "fault-rate multiplier for the reliability sweep (0 disables injection)")
 	traceFile := fs.String("trace", "", "trace file for the replay subcommand")
 	format := fs.String("format", "csv", "trace file format: csv (tracegen) or msr (MSR-Cambridge)")
@@ -47,7 +49,28 @@ func main() {
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
-	cfg := exp.SimConfig{Requests: *n, Seed: *seed, PE: *pe}
+	cfg := exp.SimConfig{Requests: *n, Seed: *seed, PE: *pe, Parallel: *parallel}
+	// Every engine sweep emits a machine-readable JSON summary (wall
+	// time, speedup vs serial, ops/sec, per-shard timing) next to the
+	// CSV artifacts when -csv is given.
+	cfg.OnSummary = func(s *runner.Summary) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "flexlevel: summary:", err)
+			return
+		}
+		f, err := os.Create(*csvDir + "/" + s.Name + "_summary.json")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexlevel: summary:", err)
+			return
+		}
+		defer f.Close()
+		if err := s.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "flexlevel: summary:", err)
+		}
+	}
 
 	writeCSV := func(name string, emit func(w *os.File) error) error {
 		if *csvDir == "" {
@@ -67,7 +90,7 @@ func main() {
 	run := func(name string) error {
 		switch name {
 		case "fig5":
-			rows, err := exp.Fig5()
+			rows, err := exp.Fig5(cfg)
 			if err != nil {
 				return err
 			}
@@ -76,7 +99,7 @@ func main() {
 				return err
 			}
 		case "table4":
-			cells, err := exp.Table4()
+			cells, err := exp.Table4(cfg)
 			if err != nil {
 				return err
 			}
@@ -119,13 +142,13 @@ func main() {
 				return err
 			}
 		case "ablations":
-			enc, err := exp.EncodingAblation()
+			enc, err := exp.EncodingAblation(cfg)
 			if err != nil {
 				return err
 			}
 			exp.PrintEncodingAblation(os.Stdout, enc)
 			fmt.Println()
-			margins, err := exp.MarginAblation()
+			margins, err := exp.MarginAblation(cfg)
 			if err != nil {
 				return err
 			}
@@ -143,7 +166,7 @@ func main() {
 			}
 			exp.PrintPoolSweep(os.Stdout, pool)
 			fmt.Println()
-			rt, err := exp.RefTuneAblation(*pe, 720)
+			rt, err := exp.RefTuneAblation(cfg, *pe, 720)
 			if err != nil {
 				return err
 			}
@@ -161,13 +184,13 @@ func main() {
 			}
 			exp.PrintChannelAblation(os.Stdout, ch)
 		case "ecc":
-			rows, err := exp.HardECCStudy()
+			rows, err := exp.HardECCStudy(cfg)
 			if err != nil {
 				return err
 			}
 			exp.PrintHardECC(os.Stdout, rows)
 		case "retshare":
-			rows, avg, err := exp.RetentionShares()
+			rows, avg, err := exp.RetentionShares(cfg)
 			if err != nil {
 				return err
 			}

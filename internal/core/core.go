@@ -46,6 +46,17 @@ func Systems() []System {
 	return []System{Baseline, LDPCInSSD, LevelAdjustOnly, FlexLevel}
 }
 
+// ParseSystem is the inverse of String: it resolves a system name as
+// written in CSV artifacts back to its System value.
+func ParseSystem(name string) (System, error) {
+	for _, sys := range Systems() {
+		if sys.String() == name {
+			return sys, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown system %q", name)
+}
+
 func (s System) String() string {
 	switch s {
 	case Baseline:

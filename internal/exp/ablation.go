@@ -9,6 +9,7 @@ import (
 	"flexlevel/internal/noise"
 	"flexlevel/internal/nunma"
 	"flexlevel/internal/reducecode"
+	"flexlevel/internal/runner"
 	"flexlevel/internal/stats"
 	"flexlevel/internal/trace"
 )
@@ -22,40 +23,44 @@ type AblationEncoding struct {
 	WorstBER     float64 // max of C2C and retention at P/E 6000, 1 month
 }
 
+// encodingCase pairs a device spec with the encoding evaluated on it.
+type encodingCase struct {
+	spec *noise.Spec
+	enc  noise.Encoding
+}
+
 // EncodingAblation evaluates ReduceCode and naive Gray on the NUNMA 3
 // reduced device, plus the industry-standard SLC-mode fallback on the
-// regular 4-level device.
-func EncodingAblation() ([]AblationEncoding, error) {
-	cfg, err := nunma.ByName("NUNMA 3")
+// regular 4-level device, one engine shard per encoding.
+func EncodingAblation(cfg SimConfig) ([]AblationEncoding, error) {
+	nc, err := nunma.ByName("NUNMA 3")
 	if err != nil {
 		return nil, err
 	}
-	cases := []struct {
-		spec *noise.Spec
-		enc  noise.Encoding
-	}{
-		{cfg.Spec(), reducecode.Encoding()},
-		{cfg.Spec(), reducecode.GrayOn3Levels()},
+	cases := []encodingCase{
+		{nc.Spec(), reducecode.Encoding()},
+		{nc.Spec(), reducecode.GrayOn3Levels()},
 		{nunma.SLCModeSpec(), noise.SLCMode()},
 	}
-	var out []AblationEncoding
-	for _, c := range cases {
-		m, err := noise.NewBERModel(c.spec, c.enc)
-		if err != nil {
-			return nil, err
-		}
-		worst := m.C2CBER()
-		if r := m.RetentionBER(6000, 720); r > worst {
-			worst = r
-		}
-		out = append(out, AblationEncoding{
-			Name:         c.enc.Name,
-			BitsPerCell:  c.enc.BitsPerCell,
-			CapacityLoss: 1 - c.enc.BitsPerCell/2,
-			WorstBER:     worst,
+	out, _, err := runner.Map(cfg.engine("ablation-encoding"), cases,
+		func(_ int, c encodingCase) string { return "encoding=" + c.enc.Name },
+		func(_ runner.Shard, c encodingCase) (AblationEncoding, error) {
+			m, err := noise.NewBERModel(c.spec, c.enc)
+			if err != nil {
+				return AblationEncoding{}, err
+			}
+			worst := m.C2CBER()
+			if r := m.RetentionBER(6000, 720); r > worst {
+				worst = r
+			}
+			return AblationEncoding{
+				Name:         c.enc.Name,
+				BitsPerCell:  c.enc.BitsPerCell,
+				CapacityLoss: 1 - c.enc.BitsPerCell/2,
+				WorstBER:     worst,
+			}, nil
 		})
-	}
-	return out, nil
+	return out, err
 }
 
 // PrintEncodingAblation renders the encoding comparison.
@@ -76,36 +81,37 @@ type AblationMargin struct {
 	RetentionBER float64 // at P/E 6000, 1 month
 }
 
-// MarginAblation evaluates the two margin policies.
-func MarginAblation() ([]AblationMargin, error) {
+// marginCase names one margin policy and its device spec.
+type marginCase struct {
+	name string
+	spec *noise.Spec
+}
+
+// MarginAblation evaluates the two margin policies, one engine shard
+// per policy.
+func MarginAblation(cfg SimConfig) ([]AblationMargin, error) {
 	cfg3, err := nunma.ByName("NUNMA 3")
 	if err != nil {
 		return nil, err
 	}
-	specs := []struct {
-		name string
-		spec func() (*noise.BERModel, error)
-	}{
-		{"uniform (basic §4.1)", func() (*noise.BERModel, error) {
-			return noise.NewBERModel(nunma.BasicLevelAdjust(), reducecode.Encoding())
-		}},
-		{"NUNMA 3", func() (*noise.BERModel, error) {
-			return noise.NewBERModel(cfg3.Spec(), reducecode.Encoding())
-		}},
+	cases := []marginCase{
+		{"uniform (basic §4.1)", nunma.BasicLevelAdjust()},
+		{"NUNMA 3", cfg3.Spec()},
 	}
-	var out []AblationMargin
-	for _, s := range specs {
-		m, err := s.spec()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationMargin{
-			Name:         s.name,
-			C2CBER:       m.C2CBER(),
-			RetentionBER: m.RetentionBER(6000, 720),
+	out, _, err := runner.Map(cfg.engine("ablation-margins"), cases,
+		func(_ int, c marginCase) string { return "margins=" + c.name },
+		func(_ runner.Shard, c marginCase) (AblationMargin, error) {
+			m, err := noise.NewBERModel(c.spec, reducecode.Encoding())
+			if err != nil {
+				return AblationMargin{}, err
+			}
+			return AblationMargin{
+				Name:         c.name,
+				C2CBER:       m.C2CBER(),
+				RetentionBER: m.RetentionBER(6000, 720),
+			}, nil
 		})
-	}
-	return out, nil
+	return out, err
 }
 
 // PrintMarginAblation renders the margin comparison.
@@ -126,52 +132,64 @@ type AblationHLO struct {
 	WriteAmp   float64
 }
 
-// HLOAblation runs fin-2 under both identification rules.
+// hloCase is one shard of the HLO-rule ablation: the LDPC-in-SSD
+// reference run or one identification rule under FlexLevel.
+type hloCase struct {
+	name   string
+	isRef  bool
+	params func(uint64) accesseval.Params
+}
+
+// HLOAblation runs fin-2 under both identification rules, one engine
+// shard per run (the LDPC-in-SSD normalization reference is a shard
+// too; normalization happens after collection).
 func HLOAblation(cfg SimConfig) ([]AblationHLO, error) {
-	opts := core.DefaultOptions(core.FlexLevel, cfg.PE)
-	w, err := trace.ByName("fin-2", cfg.Requests, opts.SSD.FTL.LogicalPages, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	// Reference: LDPC-in-SSD.
-	refRunner, err := core.NewRunner(core.DefaultOptions(core.LDPCInSSD, cfg.PE))
-	if err != nil {
-		return nil, err
-	}
-	ref, err := refRunner.Run(w)
-	if err != nil {
-		return nil, err
-	}
-	rules := []struct {
-		name   string
-		params func(uint64) accesseval.Params
-	}{
-		{"Lf x Lsensing (paper)", accesseval.DefaultParams},
-		{"frequency only", func(lp uint64) accesseval.Params {
+	cases := []hloCase{
+		{name: "ldpc-in-ssd (reference)", isRef: true},
+		{name: "Lf x Lsensing (paper)", params: accesseval.DefaultParams},
+		{name: "frequency only", params: func(lp uint64) accesseval.Params {
 			p := accesseval.DefaultParams(lp)
 			p.Lsensing = 1 // sensing dimension collapsed
 			p.Threshold = 2
 			return p
 		}},
 	}
+	results, _, err := runner.Map(cfg.engine("ablation-hlo"), cases,
+		func(_ int, c hloCase) string { return "rule=" + c.name },
+		func(s runner.Shard, c hloCase) (core.Metrics, error) {
+			o := core.DefaultOptions(core.FlexLevel, cfg.PE)
+			if c.isRef {
+				o = core.DefaultOptions(core.LDPCInSSD, cfg.PE)
+			} else {
+				o.AccessEval = c.params(o.SSD.FTL.LogicalPages)
+			}
+			w, err := trace.ByName("fin-2", cfg.Requests, o.SSD.FTL.LogicalPages, cfg.Seed)
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			r, err := core.NewRunner(o)
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			m, err := r.Run(w)
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			s.AddOps(int64(cfg.Requests))
+			return m, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	ref := results[0]
 	var out []AblationHLO
-	for _, rule := range rules {
-		o := core.DefaultOptions(core.FlexLevel, cfg.PE)
-		o.AccessEval = rule.params(o.SSD.FTL.LogicalPages)
-		r, err := core.NewRunner(o)
-		if err != nil {
-			return nil, err
-		}
-		m, err := r.Run(w)
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range results[1:] {
 		norm := 0.0
 		if ref.AvgResponse > 0 {
 			norm = m.AvgResponse / ref.AvgResponse
 		}
 		out = append(out, AblationHLO{
-			Rule:       rule.name,
+			Rule:       cases[i+1].name,
 			Norm:       norm,
 			Migrations: m.Migrations,
 			WriteAmp:   m.WriteAmp,
@@ -198,40 +216,54 @@ type AblationPool struct {
 
 // PoolSweep varies the ReducedCell pool capacity (the paper fixes it at
 // a quarter of the logical space — 64GB of 256GB) and reports the
-// speedup/capacity trade-off on web-1.
+// speedup/capacity trade-off on web-1, one engine shard per pool size
+// (plus one for the LDPC-in-SSD normalization reference).
 func PoolSweep(cfg SimConfig, fractions []float64) ([]AblationPool, error) {
-	opts := core.DefaultOptions(core.FlexLevel, cfg.PE)
-	w, err := trace.ByName("web-1", cfg.Requests, opts.SSD.FTL.LogicalPages, cfg.Seed)
+	// Shard 0 is the reference; shard i+1 is fractions[i]. A negative
+	// fraction marks the reference cell.
+	cells := append([]float64{-1}, fractions...)
+	results, _, err := runner.Map(cfg.engine("ablation-pool"), cells,
+		func(_ int, frac float64) string {
+			if frac < 0 {
+				return "ref=ldpc-in-ssd"
+			}
+			return fmt.Sprintf("pool=%g", frac)
+		},
+		func(s runner.Shard, frac float64) (core.Metrics, error) {
+			o := core.DefaultOptions(core.FlexLevel, cfg.PE)
+			if frac < 0 {
+				o = core.DefaultOptions(core.LDPCInSSD, cfg.PE)
+			} else {
+				o.AccessEval = accesseval.DefaultParams(o.SSD.FTL.LogicalPages)
+				o.AccessEval.PoolPages = int(float64(o.SSD.FTL.LogicalPages) * frac)
+			}
+			w, err := trace.ByName("web-1", cfg.Requests, o.SSD.FTL.LogicalPages, cfg.Seed)
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			r, err := core.NewRunner(o)
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			m, err := r.Run(w)
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			s.AddOps(int64(cfg.Requests))
+			return m, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	refRunner, err := core.NewRunner(core.DefaultOptions(core.LDPCInSSD, cfg.PE))
-	if err != nil {
-		return nil, err
-	}
-	ref, err := refRunner.Run(w)
-	if err != nil {
-		return nil, err
-	}
+	ref := results[0]
 	var out []AblationPool
-	for _, frac := range fractions {
-		o := core.DefaultOptions(core.FlexLevel, cfg.PE)
-		o.AccessEval = accesseval.DefaultParams(o.SSD.FTL.LogicalPages)
-		o.AccessEval.PoolPages = int(float64(o.SSD.FTL.LogicalPages) * frac)
-		r, err := core.NewRunner(o)
-		if err != nil {
-			return nil, err
-		}
-		m, err := r.Run(w)
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range results[1:] {
 		norm := 0.0
 		if ref.AvgResponse > 0 {
 			norm = m.AvgResponse / ref.AvgResponse
 		}
 		out = append(out, AblationPool{
-			PoolFraction: frac,
+			PoolFraction: fractions[i],
 			Norm:         norm,
 			CapacityLoss: m.CapacityLoss,
 		})
@@ -258,36 +290,46 @@ type AblationScrub struct {
 }
 
 // ScrubAblation runs web-1 under plain LDPC-in-SSD, LDPC-in-SSD with
-// aggressive scrubbing, and FlexLevel: scrubbing also removes repeated
-// soft-sensed reads, but pays in write traffic and wear instead of
-// capacity.
+// aggressive scrubbing, and FlexLevel — one engine shard each:
+// scrubbing also removes repeated soft-sensed reads, but pays in write
+// traffic and wear instead of capacity.
 func ScrubAblation(cfg SimConfig) ([]AblationScrub, error) {
-	opts := core.DefaultOptions(core.LDPCInSSD, cfg.PE)
-	w, err := trace.ByName("web-1", cfg.Requests, opts.SSD.FTL.LogicalPages, cfg.Seed)
+	type scrubCase struct {
+		scheme string
+		opts   func() core.Options
+	}
+	cases := []scrubCase{
+		{"LDPC-in-SSD", func() core.Options { return core.DefaultOptions(core.LDPCInSSD, cfg.PE) }},
+		{"+ scrubbing [10]", func() core.Options {
+			o := core.DefaultOptions(core.LDPCInSSD, cfg.PE)
+			o.SSD.RefreshAboveLevels = 1
+			return o
+		}},
+		{"FlexLevel", func() core.Options { return core.DefaultOptions(core.FlexLevel, cfg.PE) }},
+	}
+	results, _, err := runner.Map(cfg.engine("ablation-scrub"), cases,
+		func(_ int, c scrubCase) string { return "scheme=" + c.scheme },
+		func(s runner.Shard, c scrubCase) (core.Metrics, error) {
+			o := c.opts()
+			w, err := trace.ByName("web-1", cfg.Requests, o.SSD.FTL.LogicalPages, cfg.Seed)
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			r, err := core.NewRunner(o)
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			m, err := r.Run(w)
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			s.AddOps(int64(cfg.Requests))
+			return m, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	run := func(o core.Options) (core.Metrics, error) {
-		r, err := core.NewRunner(o)
-		if err != nil {
-			return core.Metrics{}, err
-		}
-		return r.Run(w)
-	}
-	ref, err := run(core.DefaultOptions(core.LDPCInSSD, cfg.PE))
-	if err != nil {
-		return nil, err
-	}
-	scrubOpts := core.DefaultOptions(core.LDPCInSSD, cfg.PE)
-	scrubOpts.SSD.RefreshAboveLevels = 1
-	scrub, err := run(scrubOpts)
-	if err != nil {
-		return nil, err
-	}
-	flex, err := run(core.DefaultOptions(core.FlexLevel, cfg.PE))
-	if err != nil {
-		return nil, err
-	}
+	ref, scrub, flex := results[0], results[1], results[2]
 	norm := func(m core.Metrics) float64 {
 		if ref.AvgResponse == 0 {
 			return 0
@@ -328,32 +370,43 @@ type AblationChannels struct {
 }
 
 // ChannelAblation asks whether channel parallelism hides the soft-
-// sensing latency FlexLevel removes.
+// sensing latency FlexLevel removes. Each (channel count, system) run
+// is one engine shard; reductions pair up after collection.
 func ChannelAblation(cfg SimConfig, channelCounts []int) ([]AblationChannels, error) {
-	opts := core.DefaultOptions(core.LDPCInSSD, cfg.PE)
-	w, err := trace.ByName("web-1", cfg.Requests, opts.SSD.FTL.LogicalPages, cfg.Seed)
-	if err != nil {
-		return nil, err
+	type chCell struct {
+		Channels int
+		System   core.System
 	}
-	var out []AblationChannels
+	var cells []chCell
 	for _, ch := range channelCounts {
-		run := func(sys core.System) (core.Metrics, error) {
-			o := core.DefaultOptions(sys, cfg.PE)
-			o.SSD.Channels = ch
+		cells = append(cells, chCell{ch, core.LDPCInSSD}, chCell{ch, core.FlexLevel})
+	}
+	results, _, err := runner.Map(cfg.engine("ablation-channels"), cells,
+		func(_ int, c chCell) string { return fmt.Sprintf("channels=%d/system=%v", c.Channels, c.System) },
+		func(s runner.Shard, c chCell) (core.Metrics, error) {
+			o := core.DefaultOptions(c.System, cfg.PE)
+			o.SSD.Channels = c.Channels
+			w, err := trace.ByName("web-1", cfg.Requests, o.SSD.FTL.LogicalPages, cfg.Seed)
+			if err != nil {
+				return core.Metrics{}, err
+			}
 			r, err := core.NewRunner(o)
 			if err != nil {
 				return core.Metrics{}, err
 			}
-			return r.Run(w)
-		}
-		ref, err := run(core.LDPCInSSD)
-		if err != nil {
-			return nil, err
-		}
-		flex, err := run(core.FlexLevel)
-		if err != nil {
-			return nil, err
-		}
+			m, err := r.Run(w)
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			s.AddOps(int64(cfg.Requests))
+			return m, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationChannels
+	for i, ch := range channelCounts {
+		ref, flex := results[2*i], results[2*i+1]
 		red := 0.0
 		if ref.AvgResponse > 0 {
 			red = 1 - flex.AvgResponse/ref.AvgResponse

@@ -1,15 +1,20 @@
 package exp
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"flexlevel/internal/core"
 )
 
 // CSV artifact writers: each experiment can emit a plotting-friendly
 // CSV alongside the human-readable text, so figures can be regenerated
-// with any external tool.
+// with any external tool. ReadReliabilityCSV parses the reliability
+// artifact back (used by the golden harness and CI determinism checks
+// to compare sweeps structurally, and fuzzed for parser robustness).
 
 // WriteFig5CSV emits scheme,c2c_ber.
 func WriteFig5CSV(w io.Writer, rows []Fig5Row) error {
@@ -78,6 +83,99 @@ func WriteFig6aCSV(w io.Writer, d *Fig6aData) error {
 		}
 	}
 	return nil
+}
+
+// ReadReliabilityCSV parses a WriteReliabilityCSV artifact back into
+// rows. The header line is required verbatim; blank lines are skipped;
+// a malformed row fails with its line number. Only the columns the
+// artifact carries are populated in the returned Metrics.
+func ReadReliabilityCSV(r io.Reader) ([]ReliabilityRow, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	line := 0
+	sawHeader := false
+	var rows []ReliabilityRow
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if !sawHeader {
+			if text != reliabilityCSVHeader {
+				return nil, fmt.Errorf("exp: line %d: missing reliability header", line)
+			}
+			sawHeader = true
+			continue
+		}
+		row, err := parseReliabilityRow(text)
+		if err != nil {
+			return nil, fmt.Errorf("exp: line %d: %w", line, err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("exp: empty reliability CSV")
+	}
+	return rows, nil
+}
+
+func parseReliabilityRow(text string) (ReliabilityRow, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) != 17 {
+		return ReliabilityRow{}, fmt.Errorf("want 17 fields, have %d", len(fields))
+	}
+	var row ReliabilityRow
+	var err error
+	if row.Scale, err = strconv.ParseFloat(fields[0], 64); err != nil {
+		return ReliabilityRow{}, fmt.Errorf("bad scale %q", fields[0])
+	}
+	if row.System, err = core.ParseSystem(fields[1]); err != nil {
+		return ReliabilityRow{}, err
+	}
+	floats := []struct {
+		dst  *float64
+		name string
+		idx  int
+	}{
+		{&row.AvgResponse, "avg_response_s", 2},
+		{&row.AvgRead, "avg_read_s", 3},
+		{&row.EffectiveUBER, "effective_uber", 14},
+		{&row.WriteAmp, "write_amp", 15},
+	}
+	for _, f := range floats {
+		if *f.dst, err = strconv.ParseFloat(fields[f.idx], 64); err != nil {
+			return ReliabilityRow{}, fmt.Errorf("bad %s %q", f.name, fields[f.idx])
+		}
+	}
+	ints := []struct {
+		dst  *int64
+		name string
+		idx  int
+	}{
+		{&row.RetiredBlocks, "retired_blocks", 4},
+		{&row.ProgramFailures, "program_failures", 5},
+		{&row.EraseFailures, "erase_failures", 6},
+		{&row.GrownBadBlocks, "grown_bad", 7},
+		{&row.SparesUsed, "spares_used", 8},
+		{&row.WritesRejected, "writes_rejected", 9},
+		{&row.WriteFailures, "write_failures", 10},
+		{&row.TransientReadFaults, "transient_read_faults", 11},
+		{&row.ReadRetries, "read_retries", 12},
+		{&row.DataLoss, "data_loss", 13},
+	}
+	for _, f := range ints {
+		if *f.dst, err = strconv.ParseInt(fields[f.idx], 10, 64); err != nil || *f.dst < 0 {
+			return ReliabilityRow{}, fmt.Errorf("bad %s %q", f.name, fields[f.idx])
+		}
+	}
+	if row.Degraded, err = strconv.ParseBool(fields[16]); err != nil {
+		return ReliabilityRow{}, fmt.Errorf("bad degraded %q", fields[16])
+	}
+	return row, nil
 }
 
 // WriteFig7CSV emits workload,write_increase,erase_increase,lifetime.

@@ -12,7 +12,7 @@ func countLines(s string) int {
 }
 
 func TestWriteFig5CSV(t *testing.T) {
-	rows, err := Fig5()
+	rows, err := Fig5(SimConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestWriteFig5CSV(t *testing.T) {
 }
 
 func TestWriteTable4CSV(t *testing.T) {
-	cells, err := Table4()
+	cells, err := Table4(SimConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,11 +11,13 @@ package exp
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"flexlevel/internal/core"
 	"flexlevel/internal/noise"
 	"flexlevel/internal/nunma"
 	"flexlevel/internal/reducecode"
+	"flexlevel/internal/runner"
 	"flexlevel/internal/stats"
 	"flexlevel/internal/trace"
 )
@@ -61,17 +63,41 @@ type Fig5Row struct {
 }
 
 // Fig5 computes the interference BER of the baseline MLC cell and the
-// three NUNMA reduced-state configurations.
-func Fig5() ([]Fig5Row, error) {
-	base, nunmas, names, err := deviceModels()
+// three NUNMA reduced-state configurations, one engine shard per scheme.
+func Fig5(cfg SimConfig) ([]Fig5Row, error) {
+	schemes := append([]string{"Baseline"}, nunmaNames()...)
+	rows, _, err := runner.Map(cfg.engine("fig5"), schemes,
+		func(_ int, scheme string) string { return "scheme=" + scheme },
+		func(_ runner.Shard, scheme string) (Fig5Row, error) {
+			m, err := schemeModel(scheme)
+			if err != nil {
+				return Fig5Row{}, err
+			}
+			return Fig5Row{Scheme: scheme, C2CBER: m.C2CBER()}, nil
+		})
+	return rows, err
+}
+
+// nunmaNames lists the Table 3 configuration names in order.
+func nunmaNames() []string {
+	var names []string
+	for _, cfg := range nunma.Table3() {
+		names = append(names, cfg.Name)
+	}
+	return names
+}
+
+// schemeModel builds the BER model for one scheme name ("Baseline" or a
+// Table 3 configuration).
+func schemeModel(scheme string) (*noise.BERModel, error) {
+	if scheme == "Baseline" {
+		return noise.NewBERModel(nunma.BaselineMLC(), noise.MLCGray())
+	}
+	cfg, err := nunma.ByName(scheme)
 	if err != nil {
 		return nil, err
 	}
-	rows := []Fig5Row{{Scheme: "Baseline", C2CBER: base.C2CBER()}}
-	for i, m := range nunmas {
-		rows = append(rows, Fig5Row{Scheme: names[i], C2CBER: m.C2CBER()})
-	}
-	return rows, nil
+	return noise.NewBERModel(cfg.Spec(), reducecode.Encoding())
 }
 
 // PrintFig5 renders Fig. 5 as text.
@@ -97,26 +123,35 @@ type Table4Cell struct {
 }
 
 // Table4 computes the retention BER grid: baseline plus NUNMA 1-3 at
-// each P/E point and storage time.
-func Table4() ([]Table4Cell, error) {
-	base, nunmas, names, err := deviceModels()
+// each P/E point and storage time, one engine shard per P/E point.
+func Table4(cfg SimConfig) ([]Table4Cell, error) {
+	perPE, _, err := runner.Map(cfg.engine("table4"), PEPoints,
+		func(_ int, pe int) string { return fmt.Sprintf("pe=%d", pe) },
+		func(s runner.Shard, pe int) ([]Table4Cell, error) {
+			base, nunmas, names, err := deviceModels()
+			if err != nil {
+				return nil, err
+			}
+			rows := []Table4Cell{{PE: pe, Scheme: "Baseline"}}
+			for ti, t := range RetentionTimes {
+				rows[0].BER[ti] = base.RetentionBER(pe, t.Hours)
+			}
+			for i, m := range nunmas {
+				row := Table4Cell{PE: pe, Scheme: names[i]}
+				for ti, t := range RetentionTimes {
+					row.BER[ti] = m.RetentionBER(pe, t.Hours)
+				}
+				rows = append(rows, row)
+			}
+			s.AddOps(int64(len(rows) * len(RetentionTimes)))
+			return rows, nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	var out []Table4Cell
-	for _, pe := range PEPoints {
-		row := Table4Cell{PE: pe, Scheme: "Baseline"}
-		for ti, t := range RetentionTimes {
-			row.BER[ti] = base.RetentionBER(pe, t.Hours)
-		}
-		out = append(out, row)
-		for i, m := range nunmas {
-			row := Table4Cell{PE: pe, Scheme: names[i]}
-			for ti, t := range RetentionTimes {
-				row.BER[ti] = m.RetentionBER(pe, t.Hours)
-			}
-			out = append(out, row)
-		}
+	for _, rows := range perPE {
+		out = append(out, rows...)
 	}
 	return out, nil
 }
@@ -164,8 +199,16 @@ func PrintTable4(w io.Writer, cells []Table4Cell) {
 		}
 		fmt.Fprintln(w)
 	}
-	for scheme, r := range Table4Reductions(cells) {
-		fmt.Fprintf(w, "  mean reduction %s: %.1fx\n", scheme, r)
+	// Sort scheme names so the rendering is deterministic (map order
+	// would otherwise shuffle the summary lines between runs).
+	red := Table4Reductions(cells)
+	schemes := make([]string, 0, len(red))
+	for scheme := range red {
+		schemes = append(schemes, scheme)
+	}
+	sort.Strings(schemes)
+	for _, scheme := range schemes {
+		fmt.Fprintf(w, "  mean reduction %s: %.1fx\n", scheme, red[scheme])
 	}
 }
 
@@ -219,6 +262,18 @@ type SimConfig struct {
 	Requests int
 	Seed     int64
 	PE       int
+
+	// Parallel caps the experiment engine's worker count; <= 0 uses
+	// GOMAXPROCS. Results are byte-identical for every value.
+	Parallel int
+	// OnSummary, when non-nil, receives the engine summary of every
+	// sweep run with this config (one per runner.Map call).
+	OnSummary func(*runner.Summary)
+}
+
+// engine builds the runner configuration for a named sweep.
+func (c SimConfig) engine(name string) runner.Config {
+	return runner.Config{Name: name, Workers: c.Parallel, Seed: c.Seed, OnSummary: c.OnSummary}
 }
 
 // DefaultSim returns the evaluation defaults (P/E 6000 as in Fig. 6(a)).
@@ -239,26 +294,53 @@ type Fig6aData struct {
 	Cells [][]RunResult
 }
 
-// Fig6a replays the seven workloads under all four systems.
+// fig6aCell is one (workload, system) shard of the Fig. 6(a) grid.
+type fig6aCell struct {
+	Workload string
+	System   core.System
+}
+
+// Fig6a replays the seven workloads under all four systems, one engine
+// shard per (workload, system) cell. Every shard rebuilds its own
+// workload and runner from the sweep config, so cells share no state
+// and the grid is byte-identical for any worker count.
 func Fig6a(cfg SimConfig) (*Fig6aData, error) {
 	opts := core.DefaultOptions(core.Baseline, cfg.PE)
 	ws := trace.Workloads(cfg.Requests, opts.SSD.FTL.LogicalPages, cfg.Seed)
 	data := &Fig6aData{Systems: core.Systems()}
+	var cells []fig6aCell
 	for _, w := range ws {
 		data.Workloads = append(data.Workloads, w.Name)
-		var row []RunResult
 		for _, sys := range data.Systems {
-			r, err := core.NewRunner(core.DefaultOptions(sys, cfg.PE))
+			cells = append(cells, fig6aCell{Workload: w.Name, System: sys})
+		}
+	}
+	results, _, err := runner.Map(cfg.engine(fmt.Sprintf("fig6a-pe%d", cfg.PE)), cells,
+		func(_ int, c fig6aCell) string {
+			return fmt.Sprintf("workload=%s/system=%v", c.Workload, c.System)
+		},
+		func(s runner.Shard, c fig6aCell) (RunResult, error) {
+			o := core.DefaultOptions(c.System, cfg.PE)
+			w, err := trace.ByName(c.Workload, cfg.Requests, o.SSD.FTL.LogicalPages, cfg.Seed)
 			if err != nil {
-				return nil, err
+				return RunResult{}, err
+			}
+			r, err := core.NewRunner(o)
+			if err != nil {
+				return RunResult{}, err
 			}
 			m, err := r.Run(w)
 			if err != nil {
-				return nil, fmt.Errorf("exp: %s under %v: %w", w.Name, sys, err)
+				return RunResult{}, fmt.Errorf("exp: %s under %v: %w", c.Workload, c.System, err)
 			}
-			row = append(row, RunResult{m})
-		}
-		data.Cells = append(data.Cells, row)
+			s.AddOps(int64(cfg.Requests))
+			return RunResult{m}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for wi := range data.Workloads {
+		data.Cells = append(data.Cells, results[wi*len(data.Systems):(wi+1)*len(data.Systems)])
 	}
 	return data, nil
 }

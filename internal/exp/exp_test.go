@@ -9,7 +9,7 @@ import (
 )
 
 func TestFig5ShapeMatchesPaper(t *testing.T) {
-	rows, err := Fig5()
+	rows, err := Fig5(SimConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestFig5ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestTable4ShapeMatchesPaper(t *testing.T) {
-	cells, err := Table4()
+	cells, err := Table4(SimConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestFig6aSmall(t *testing.T) {
 }
 
 func TestEncodingAblation(t *testing.T) {
-	rows, err := EncodingAblation()
+	rows, err := EncodingAblation(SimConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestEncodingAblation(t *testing.T) {
 }
 
 func TestMarginAblation(t *testing.T) {
-	rows, err := MarginAblation()
+	rows, err := MarginAblation(SimConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadReliabilityCSV drives the reliability-artifact parser with
+// arbitrary input. Invariants: the parser never panics, and writing is
+// idempotent over parsing — for any accepted input, write(parse(in))
+// is a fixed point of parse-then-write. This pins the reader and
+// writer to the same canonical format, which the golden harness and
+// the CI determinism check both rely on.
+func FuzzReadReliabilityCSV(f *testing.F) {
+	f.Add(reliabilityCSVHeader + "\n")
+	f.Add(reliabilityCSVHeader + "\n" +
+		"0,Baseline,1.234567e-04,9.876543e-05,0,0,0,0,0,0,0,0,0,0,0.000000e+00,1.2345,false\n")
+	f.Add(reliabilityCSVHeader + "\n" +
+		"4,FlexLevel,1.0e-3,1.0e-4,17,3,2,5,9,0,1,25,40,2,3.1e-12,2.5000,true\n")
+	f.Add(reliabilityCSVHeader + "\n" +
+		"1,LDPC-in-SSD,1e-3,1e-4,-1,0,0,0,0,0,0,0,0,0,0,1.0,false\n")
+	f.Add("scale,system\n1,Baseline\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		rows, err := ReadReliabilityCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := WriteReliabilityCSV(&first, rows); err != nil {
+			t.Fatalf("write of accepted input: %v", err)
+		}
+		again, err := ReadReliabilityCSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of written output: %v\noutput: %q", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := WriteReliabilityCSV(&second, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("write∘parse is not idempotent:\nfirst:  %q\nsecond: %q",
+				first.String(), second.String())
+		}
+	})
+}

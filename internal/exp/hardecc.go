@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"flexlevel/internal/bch"
+	"flexlevel/internal/runner"
 	"flexlevel/internal/sensing"
 	"flexlevel/internal/uber"
 )
@@ -22,8 +23,9 @@ type HardECCRow struct {
 // parity budget as the rate-8/9 LDPC code (4096 parity bits over a 4KB
 // block), a hard-decision BCH code tops out well below the 1e-2 raw BER
 // of worn 2Xnm MLC, while soft-decision LDPC with six extra sensing
-// levels stretches far enough — at 7x the read latency.
-func HardECCStudy() ([]HardECCRow, error) {
+// levels stretches far enough — at 7x the read latency. Each ECC
+// configuration's tolerable-BER bisection is one engine shard.
+func HardECCStudy(cfg SimConfig) ([]HardECCRow, error) {
 	code := uber.PaperCode()
 	rule := sensing.DefaultRule()
 
@@ -37,15 +39,18 @@ func HardECCStudy() ([]HardECCRow, error) {
 	}
 	_ = bchCode // construction sanity only; capability math uses t below
 
-	rows := []HardECCRow{
+	cases := []HardECCRow{
 		{Name: fmt.Sprintf("BCH (m=%d, t=%d, same parity)", m, t), Correctable: t},
 		{Name: "LDPC hard decision (0 levels)", Correctable: rule.KBase},
 		{Name: "LDPC soft, 6 extra levels", Correctable: rule.KBase + 6*rule.KStep},
 	}
-	for i := range rows {
-		rows[i].MaxBER = maxTolerableBER(code, rows[i].Correctable)
-	}
-	return rows, nil
+	rows, _, err := runner.Map(cfg.engine("hardecc"), cases,
+		func(_ int, c HardECCRow) string { return "ecc=" + c.Name },
+		func(_ runner.Shard, c HardECCRow) (HardECCRow, error) {
+			c.MaxBER = maxTolerableBER(code, c.Correctable)
+			return c, nil
+		})
+	return rows, err
 }
 
 // maxTolerableBER finds the largest raw BER with UBER(k) <= target by

@@ -6,7 +6,7 @@ import (
 )
 
 func TestHardECCStudy(t *testing.T) {
-	rows, err := HardECCStudy()
+	rows, err := HardECCStudy(SimConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestHardECCStudy(t *testing.T) {
 }
 
 func TestRetentionShares(t *testing.T) {
-	rows, avg, err := RetentionShares()
+	rows, avg, err := RetentionShares(SimConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"flexlevel/internal/noise"
 	"flexlevel/internal/nunma"
 	"flexlevel/internal/reducecode"
+	"flexlevel/internal/runner"
 	"flexlevel/internal/sensing"
 )
 
@@ -22,38 +23,43 @@ type RefTuneRow struct {
 // [11]) can substitute for LevelAdjust at the paper's worst corner: it
 // compares the stock baseline, the reference-tuned baseline, and the
 // NUNMA 3 reduced state at (P/E 6000, 1 month), reporting the raw BER
-// and the soft sensing levels each still needs.
-func RefTuneAblation(pe int, hours float64) ([]RefTuneRow, error) {
-	rule := sensing.DefaultRule()
-	rows := make([]RefTuneRow, 0, 3)
-
-	base, err := noise.NewBERModel(nunma.BaselineMLC(), noise.MLCGray())
-	if err != nil {
-		return nil, err
-	}
-	b := base.TotalBER(pe, hours)
-	l, _ := rule.RequiredLevels(b)
-	rows = append(rows, RefTuneRow{Scheme: "baseline MLC", BER: b, Levels: l})
-
-	tuned, err := nunma.TuneReadRefs(nunma.BaselineMLC(), noise.MLCGray(), pe, hours)
-	if err != nil {
-		return nil, err
-	}
-	l, _ = rule.RequiredLevels(tuned.BERAfter)
-	rows = append(rows, RefTuneRow{Scheme: "baseline + ref tuning", BER: tuned.BERAfter, Levels: l})
-
-	cfg, err := nunma.ByName("NUNMA 3")
-	if err != nil {
-		return nil, err
-	}
-	red, err := noise.NewBERModel(cfg.Spec(), reducecode.Encoding())
-	if err != nil {
-		return nil, err
-	}
-	b = red.TotalBER(pe, hours)
-	l, _ = rule.RequiredLevels(b)
-	rows = append(rows, RefTuneRow{Scheme: "LevelAdjust (NUNMA 3)", BER: b, Levels: l})
-	return rows, nil
+// and the soft sensing levels each still needs. Each scheme is one
+// engine shard (reference tuning runs a grid search, the costly cell).
+func RefTuneAblation(cfg SimConfig, pe int, hours float64) ([]RefTuneRow, error) {
+	schemes := []string{"baseline MLC", "baseline + ref tuning", "LevelAdjust (NUNMA 3)"}
+	rows, _, err := runner.Map(cfg.engine("ablation-reftune"), schemes,
+		func(_ int, scheme string) string { return "scheme=" + scheme },
+		func(_ runner.Shard, scheme string) (RefTuneRow, error) {
+			rule := sensing.DefaultRule()
+			var ber float64
+			switch scheme {
+			case "baseline MLC":
+				base, err := noise.NewBERModel(nunma.BaselineMLC(), noise.MLCGray())
+				if err != nil {
+					return RefTuneRow{}, err
+				}
+				ber = base.TotalBER(pe, hours)
+			case "baseline + ref tuning":
+				tuned, err := nunma.TuneReadRefs(nunma.BaselineMLC(), noise.MLCGray(), pe, hours)
+				if err != nil {
+					return RefTuneRow{}, err
+				}
+				ber = tuned.BERAfter
+			default:
+				c, err := nunma.ByName("NUNMA 3")
+				if err != nil {
+					return RefTuneRow{}, err
+				}
+				red, err := noise.NewBERModel(c.Spec(), reducecode.Encoding())
+				if err != nil {
+					return RefTuneRow{}, err
+				}
+				ber = red.TotalBER(pe, hours)
+			}
+			l, _ := rule.RequiredLevels(ber)
+			return RefTuneRow{Scheme: scheme, BER: ber, Levels: l}, nil
+		})
+	return rows, err
 }
 
 // PrintRefTune renders the comparison.

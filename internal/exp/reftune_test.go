@@ -6,7 +6,7 @@ import (
 )
 
 func TestRefTuneAblation(t *testing.T) {
-	rows, err := RefTuneAblation(6000, 720)
+	rows, err := RefTuneAblation(SimConfig{}, 6000, 720)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"flexlevel/internal/core"
 	"flexlevel/internal/fault"
+	"flexlevel/internal/runner"
 	"flexlevel/internal/trace"
 )
 
@@ -68,36 +69,53 @@ type ReliabilityRow struct {
 	EffectiveUBER float64
 }
 
+// reliabilityCell is one (fault scale, system) shard of the sweep.
+type reliabilityCell struct {
+	Scale  float64
+	System core.System
+}
+
 // Reliability sweeps the fault-rate multiplier and replays the workload
-// under each system. Scale 0 reproduces the fault-free evaluation
-// bit-identically.
+// under each system, one engine shard per (scale, system) cell. The
+// fault injector of each cell is seeded from the shard's derived seed
+// (hash of master seed and cell key), so cells share no RNG and the
+// sweep is byte-identical for any worker count. Scale 0 reproduces the
+// fault-free evaluation bit-identically.
 func Reliability(cfg SimConfig, scales []float64) ([]ReliabilityRow, error) {
-	var out []ReliabilityRow
+	var cells []reliabilityCell
 	for _, scale := range scales {
 		for _, sys := range ReliabilitySystems() {
-			opts := core.DefaultOptions(sys, cfg.PE)
+			cells = append(cells, reliabilityCell{Scale: scale, System: sys})
+		}
+	}
+	rows, _, err := runner.Map(cfg.engine("reliability"), cells,
+		func(_ int, c reliabilityCell) string {
+			return fmt.Sprintf("scale=%g/system=%v", c.Scale, c.System)
+		},
+		func(s runner.Shard, c reliabilityCell) (ReliabilityRow, error) {
+			opts := core.DefaultOptions(c.System, cfg.PE)
 			opts.SSD.FTL.SpareBlocks = reliabilitySpares(opts.SSD.FTL.Blocks)
-			opts.SSD.Faults = DefaultFaultConfig(cfg.Seed).Scaled(scale)
+			opts.SSD.Faults = DefaultFaultConfig(s.Seed).Scaled(c.Scale)
 			w, err := trace.ByName(ReliabilityWorkload, cfg.Requests, opts.SSD.FTL.LogicalPages, cfg.Seed)
 			if err != nil {
-				return nil, err
+				return ReliabilityRow{}, err
 			}
 			r, err := core.NewRunner(opts)
 			if err != nil {
-				return nil, err
+				return ReliabilityRow{}, err
 			}
 			m, err := r.Run(w)
 			if err != nil {
-				return nil, fmt.Errorf("exp: reliability %.1fx under %v: %w", scale, sys, err)
+				return ReliabilityRow{}, fmt.Errorf("exp: reliability %.1fx under %v: %w", c.Scale, c.System, err)
 			}
-			row := ReliabilityRow{Scale: scale, System: sys, Metrics: m}
+			s.AddOps(int64(cfg.Requests))
+			row := ReliabilityRow{Scale: c.Scale, System: c.System, Metrics: m}
 			if m.Reads > 0 {
 				row.EffectiveUBER = float64(m.DataLoss) / (float64(m.Reads) * pageBits)
 			}
-			out = append(out, row)
-		}
-	}
-	return out, nil
+			return row, nil
+		})
+	return rows, err
 }
 
 // PrintReliability renders the sweep.
@@ -135,9 +153,13 @@ func PrintReliability(w io.Writer, rows []ReliabilityRow) {
 	}
 }
 
+// reliabilityCSVHeader is the column layout of the reliability artifact;
+// ReadReliabilityCSV requires it verbatim.
+const reliabilityCSVHeader = "scale,system,avg_response_s,avg_read_s,retired_blocks,program_failures,erase_failures,grown_bad,spares_used,writes_rejected,write_failures,transient_read_faults,read_retries,data_loss,effective_uber,write_amp,degraded"
+
 // WriteReliabilityCSV emits the sweep in long form.
 func WriteReliabilityCSV(w io.Writer, rows []ReliabilityRow) error {
-	if _, err := fmt.Fprintln(w, "scale,system,avg_response_s,avg_read_s,retired_blocks,program_failures,erase_failures,grown_bad,spares_used,writes_rejected,write_failures,transient_read_faults,read_retries,data_loss,effective_uber,write_amp,degraded"); err != nil {
+	if _, err := fmt.Fprintln(w, reliabilityCSVHeader); err != nil {
 		return err
 	}
 	for _, r := range rows {

@@ -7,6 +7,7 @@ import (
 	"flexlevel/internal/noise"
 	"flexlevel/internal/nunma"
 	"flexlevel/internal/reducecode"
+	"flexlevel/internal/runner"
 )
 
 // RetentionShare reports each Vth level's share of the retention errors
@@ -20,27 +21,38 @@ type RetentionShare struct {
 }
 
 // RetentionShares computes the level shares over the paper's evaluation
-// grid and their average.
-func RetentionShares() ([]RetentionShare, []float64, error) {
-	m, err := noise.NewBERModel(nunma.BasicLevelAdjust(), reducecode.Encoding())
+// grid and their average, one engine shard per (P/E, storage time) cell.
+func RetentionShares(cfg SimConfig) ([]RetentionShare, []float64, error) {
+	type gridCell struct {
+		PE    int
+		Hours float64
+	}
+	var cells []gridCell
+	for _, pe := range PEPoints {
+		for _, t := range RetentionTimes {
+			cells = append(cells, gridCell{PE: pe, Hours: t.Hours})
+		}
+	}
+	rows, _, err := runner.Map(cfg.engine("retshare"), cells,
+		func(_ int, c gridCell) string { return fmt.Sprintf("pe=%d/hours=%g", c.PE, c.Hours) },
+		func(_ runner.Shard, c gridCell) (RetentionShare, error) {
+			m, err := noise.NewBERModel(nunma.BasicLevelAdjust(), reducecode.Encoding())
+			if err != nil {
+				return RetentionShare{}, err
+			}
+			return RetentionShare{PE: c.PE, Hours: c.Hours, Shares: m.RetentionLevelShare(c.PE, c.Hours)}, nil
+		})
 	if err != nil {
 		return nil, nil, err
 	}
-	var rows []RetentionShare
 	avg := make([]float64, 3)
-	n := 0
-	for _, pe := range PEPoints {
-		for _, t := range RetentionTimes {
-			shares := m.RetentionLevelShare(pe, t.Hours)
-			rows = append(rows, RetentionShare{PE: pe, Hours: t.Hours, Shares: shares})
-			for i, s := range shares {
-				avg[i] += s
-			}
-			n++
+	for _, r := range rows {
+		for i, s := range r.Shares {
+			avg[i] += s
 		}
 	}
 	for i := range avg {
-		avg[i] /= float64(n)
+		avg[i] /= float64(len(rows))
 	}
 	return rows, avg, nil
 }

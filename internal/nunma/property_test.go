@@ -1,0 +1,76 @@
+package nunma
+
+import (
+	"testing"
+
+	"flexlevel/internal/noise"
+	"flexlevel/internal/reducecode"
+)
+
+// TestPropertyVerifyVoltages checks the voltage invariants of every
+// Table 3 configuration: verify voltages are strictly ordered and sit
+// above their read references (otherwise a freshly programmed cell
+// would misread immediately), and the level-2 margin grows
+// monotonically from NUNMA 1 to NUNMA 3 — the non-uniform adjustment
+// that gives the configurations their name.
+func TestPropertyVerifyVoltages(t *testing.T) {
+	cfgs := Table3()
+	prevM2 := -1.0
+	for _, c := range cfgs {
+		if !(c.Vverify2 > c.Vverify1) {
+			t.Errorf("%s: Vverify2 %.2f <= Vverify1 %.2f", c.Name, c.Vverify2, c.Vverify1)
+		}
+		if !(c.VreadRef2 > c.VreadRef1) {
+			t.Errorf("%s: VreadRef2 %.2f <= VreadRef1 %.2f", c.Name, c.VreadRef2, c.VreadRef1)
+		}
+		if !(c.Vverify1 > c.VreadRef1) || !(c.Vverify2 > c.VreadRef2) {
+			t.Errorf("%s: verify voltages (%.2f, %.2f) not above read refs (%.2f, %.2f)",
+				c.Name, c.Vverify1, c.Vverify2, c.VreadRef1, c.VreadRef2)
+		}
+		m1, m2 := c.RetentionMargins()
+		if m1 <= 0 || m2 <= 0 {
+			t.Errorf("%s: non-positive retention margins (%.2f, %.2f)", c.Name, m1, m2)
+		}
+		if m2 <= prevM2 {
+			t.Errorf("%s: level-2 margin %.2f does not grow over the previous config's %.2f",
+				c.Name, m2, prevM2)
+		}
+		prevM2 = m2
+		if m2 < m1 {
+			t.Errorf("%s: level-2 margin %.2f below level-1 margin %.2f "+
+				"(level 2 loses charge fastest, §4.2)", c.Name, m2, m1)
+		}
+	}
+}
+
+// TestPropertyRetentionBERMonotone checks that growing the level-2
+// margin pays off across the whole evaluation grid: at every (P/E,
+// storage time) point, each successive NUNMA configuration's retention
+// BER is no worse than its predecessor's.
+func TestPropertyRetentionBERMonotone(t *testing.T) {
+	var models []*noise.BERModel
+	for _, c := range Table3() {
+		m, err := noise.NewBERModel(c.Spec(), reducecode.Encoding())
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		models = append(models, m)
+	}
+	names := []string{"NUNMA 1", "NUNMA 2", "NUNMA 3"}
+	for _, pe := range []int{2000, 3000, 4000, 5000, 6000} {
+		for _, hours := range []float64{24, 48, 168, 720} {
+			prev := -1.0
+			for i, m := range models {
+				ber := m.RetentionBER(pe, hours)
+				if ber < 0 || ber > 1 {
+					t.Fatalf("%s at (%d, %gh): BER %g out of [0,1]", names[i], pe, hours, ber)
+				}
+				if prev >= 0 && ber > prev {
+					t.Errorf("retention BER not monotone at (%d P/E, %gh): %s %.3e > %s %.3e",
+						pe, hours, names[i], ber, names[i-1], prev)
+				}
+				prev = ber
+			}
+		}
+	}
+}

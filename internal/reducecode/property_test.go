@@ -1,0 +1,89 @@
+package reducecode
+
+import "testing"
+
+// allPairs enumerates the full 3x3 level-pair space, valid and not.
+func allPairs() []LevelPair {
+	var ps []LevelPair
+	for i := uint8(0); i < NumLevels; i++ {
+		for ii := uint8(0); ii < NumLevels; ii++ {
+			ps = append(ps, LevelPair{I: i, II: ii})
+		}
+	}
+	return ps
+}
+
+// TestPropertyRoundTripExhaustive checks the encode/decode bijection
+// over the whole domain: every 3-bit value round-trips, every valid
+// pair round-trips the other way, and the forbidden ninth combination
+// (1,2) is the only rejected in-range pair.
+func TestPropertyRoundTripExhaustive(t *testing.T) {
+	seen := map[LevelPair]uint8{}
+	for v := uint8(0); v < 8; v++ {
+		p := Encode(v)
+		if !p.Valid() {
+			t.Errorf("Encode(%03b) = (%d,%d) is not a valid pair", v, p.I, p.II)
+		}
+		if prev, dup := seen[p]; dup {
+			t.Errorf("Encode is not injective: %03b and %03b both map to (%d,%d)", prev, v, p.I, p.II)
+		}
+		seen[p] = v
+		got, ok := Decode(p)
+		if !ok || got != v {
+			t.Errorf("Decode(Encode(%03b)) = %03b, ok=%v", v, got, ok)
+		}
+	}
+	for _, p := range allPairs() {
+		forbidden := p.I == 1 && p.II == 2
+		if p.Valid() == forbidden {
+			t.Errorf("Valid(%d,%d) = %v, want %v", p.I, p.II, p.Valid(), !forbidden)
+		}
+		v, ok := Decode(p)
+		if ok == forbidden {
+			t.Errorf("Decode(%d,%d) ok=%v, want %v", p.I, p.II, ok, !forbidden)
+		}
+		if ok {
+			if back := Encode(v); back != p {
+				t.Errorf("Encode(Decode(%d,%d)) = (%d,%d)", p.I, p.II, back.I, back.II)
+			}
+		}
+	}
+	if len(seen) != 8 {
+		t.Errorf("encode table uses %d of 9 combinations, want 8", len(seen))
+	}
+}
+
+// TestPropertyDecodeClosestTotal checks DecodeClosest is total over the
+// in-range pair space and agrees with Decode wherever Decode succeeds.
+func TestPropertyDecodeClosestTotal(t *testing.T) {
+	for _, p := range allPairs() {
+		got := DecodeClosest(p)
+		if got > 7 {
+			t.Errorf("DecodeClosest(%d,%d) = %d out of 3-bit range", p.I, p.II, got)
+		}
+		if v, ok := Decode(p); ok && got != v {
+			t.Errorf("DecodeClosest(%d,%d) = %03b disagrees with Decode's %03b", p.I, p.II, got, v)
+		}
+	}
+}
+
+// TestPropertyProgramPlan checks the two-step program invariants for
+// every 3-bit value: levels never decrease between steps (ISPP cannot
+// remove charge), step 1 only reaches levels 0/1, and step 2 lands on
+// the Table 1 codeword.
+func TestPropertyProgramPlan(t *testing.T) {
+	for v := uint8(0); v < 8; v++ {
+		plan := PlanProgram(v)
+		s1, s2 := plan.AfterStep1, plan.AfterStep2
+		if s1.I > 1 || s1.II > 1 {
+			t.Errorf("PlanProgram(%03b) step 1 = (%d,%d): LSB step may only reach level 1", v, s1.I, s1.II)
+		}
+		if s2.I < s1.I || s2.II < s1.II {
+			t.Errorf("PlanProgram(%03b) lowers a level: (%d,%d) -> (%d,%d)", v, s1.I, s1.II, s2.I, s2.II)
+		}
+		if want := Encode(v); s2 != want {
+			t.Errorf("PlanProgram(%03b) finishes at (%d,%d), want Table 1's (%d,%d)",
+				v, s2.I, s2.II, want.I, want.II)
+		}
+	}
+}

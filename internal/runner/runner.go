@@ -1,0 +1,216 @@
+// Package runner is the parallel deterministic experiment engine behind
+// every config sweep of the FlexLevel evaluation (reliability, ablations,
+// figure grids). It shards a sweep's independent cells across a worker
+// pool, gives each shard a seed derived from the master seed and the
+// shard's stable key (never a shared rand.Rand), and collects results in
+// item order — so the output of any sweep is byte-identical for every
+// worker count, including 1. Per-run wall time, simulated operations and
+// allocation counts are aggregated through internal/stats into a
+// machine-readable Summary that sweeps can emit as JSON for benchmark
+// trajectory tracking.
+//
+// Determinism contract (DESIGN.md §9): a shard function must draw all of
+// its randomness from Shard.Seed (or from inputs that are themselves
+// deterministic in the sweep config), must not touch package-level
+// mutable state, and must not communicate with other shards. Under that
+// contract Map is a pure function of (cfg.Seed, items) regardless of
+// GOMAXPROCS, scheduling order or worker count.
+package runner
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"flexlevel/internal/stats"
+)
+
+// Config parameterizes one engine sweep.
+type Config struct {
+	// Name labels the sweep in its Summary (and in summary filenames).
+	Name string
+	// Workers caps the pool size; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Seed is the master seed shard seeds are derived from.
+	Seed int64
+	// OnSummary, when non-nil, receives the sweep's Summary after all
+	// shards complete (also on error, with the shards that did run).
+	OnSummary func(*Summary)
+}
+
+// Shard is the per-shard context handed to a sweep function: its stable
+// identity and its derived seed. The seed depends only on the master
+// seed and the shard key, never on scheduling.
+type Shard struct {
+	Index int
+	Key   string
+	Seed  int64
+	ops   *int64
+}
+
+// AddOps records n simulated operations (requests, cells, trials) for
+// the throughput metrics of the sweep Summary.
+func (s Shard) AddOps(n int64) { *s.ops += n }
+
+// DeriveSeed hashes the master seed and a shard key into a shard seed
+// (FNV-1a 64). The function is pure, so a shard's randomness is
+// reproducible across processes, platforms and worker counts.
+func DeriveSeed(master int64, key string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(master))
+	h.Write(b[:])
+	h.Write([]byte(key))
+	return int64(h.Sum64())
+}
+
+// ShardMetric is the per-shard slice of a Summary.
+type ShardMetric struct {
+	Key     string  `json:"key"`
+	Seed    int64   `json:"seed"`
+	Seconds float64 `json:"seconds"`
+	Ops     int64   `json:"ops"`
+}
+
+// Summary is the machine-readable outcome of one engine sweep. Speedup
+// is the sum of per-shard wall times over the sweep's wall time — the
+// wall-clock speedup versus running the same shards serially.
+type Summary struct {
+	Name           string        `json:"name"`
+	Workers        int           `json:"workers"`
+	Shards         int           `json:"shards"`
+	MasterSeed     int64         `json:"master_seed"`
+	WallSeconds    float64       `json:"wall_seconds"`
+	ShardSeconds   float64       `json:"shard_seconds_total"`
+	Speedup        float64       `json:"speedup"`
+	Ops            int64         `json:"sim_ops"`
+	OpsPerSec      float64       `json:"sim_ops_per_sec"`
+	AllocBytes     uint64        `json:"alloc_bytes"`
+	Mallocs        uint64        `json:"mallocs"`
+	ShardMinSec    float64       `json:"shard_seconds_min"`
+	ShardMeanSec   float64       `json:"shard_seconds_mean"`
+	ShardMaxSec    float64       `json:"shard_seconds_max"`
+	ShardStddevSec float64       `json:"shard_seconds_stddev"`
+	PerShard       []ShardMetric `json:"per_shard"`
+}
+
+// WriteJSON emits the summary as indented JSON.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Map runs fn over every item on a worker pool and returns the results
+// in item order. key must give every item a stable, unique identity —
+// it names the shard in metrics and, with the master seed, determines
+// the shard's derived seed. The first error (by item order) aborts
+// dispatch of not-yet-started shards and is returned after running
+// shards finish; results of successful shards are still populated.
+func Map[I, O any](cfg Config, items []I, key func(i int, item I) string, fn func(s Shard, item I) (O, error)) ([]O, *Summary, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	out := make([]O, len(items))
+	errs := make([]error, len(items))
+	metrics := make([]ShardMetric, len(items))
+	ops := make([]int64, len(items))
+
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	start := time.Now()
+
+	jobs := make(chan int)
+	var failed sync.Once
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				item := items[i]
+				k := key(i, item)
+				shard := Shard{Index: i, Key: k, Seed: DeriveSeed(cfg.Seed, k), ops: &ops[i]}
+				t0 := time.Now()
+				res, err := fn(shard, item)
+				metrics[i] = ShardMetric{Key: k, Seed: shard.Seed, Seconds: time.Since(t0).Seconds()}
+				if err != nil {
+					errs[i] = fmt.Errorf("runner: shard %q: %w", k, err)
+					failed.Do(func() { close(stop) })
+					continue
+				}
+				out[i] = res
+			}
+		}()
+	}
+dispatch:
+	for i := range items {
+		select {
+		case jobs <- i:
+		case <-stop:
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	wall := time.Since(start).Seconds()
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+
+	var shardSec stats.Accumulator
+	var totalOps int64
+	perShard := make([]ShardMetric, 0, len(items))
+	for i := range metrics {
+		if metrics[i].Key == "" { // never dispatched (aborted sweep)
+			continue
+		}
+		metrics[i].Ops = ops[i]
+		totalOps += ops[i]
+		shardSec.Add(metrics[i].Seconds)
+		perShard = append(perShard, metrics[i])
+	}
+	sum := &Summary{
+		Name:           cfg.Name,
+		Workers:        workers,
+		Shards:         len(items),
+		MasterSeed:     cfg.Seed,
+		WallSeconds:    wall,
+		ShardSeconds:   shardSec.Sum(),
+		Ops:            totalOps,
+		AllocBytes:     memAfter.TotalAlloc - memBefore.TotalAlloc,
+		Mallocs:        memAfter.Mallocs - memBefore.Mallocs,
+		ShardMinSec:    shardSec.Min(),
+		ShardMeanSec:   shardSec.Mean(),
+		ShardMaxSec:    shardSec.Max(),
+		ShardStddevSec: shardSec.Stddev(),
+		PerShard:       perShard,
+	}
+	if wall > 0 {
+		sum.Speedup = sum.ShardSeconds / wall
+		sum.OpsPerSec = float64(totalOps) / wall
+	}
+	if cfg.OnSummary != nil {
+		cfg.OnSummary(sum)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, sum, err
+		}
+	}
+	return out, sum, nil
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -72,7 +73,7 @@ func parseCSVRow(text string) (Request, error) {
 		return Request{}, fmt.Errorf("want 4 fields, have %d", len(fields))
 	}
 	us, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
-	if err != nil || us < 0 {
+	if err != nil || us < 0 || us > math.MaxInt64/int64(time.Microsecond) {
 		return Request{}, fmt.Errorf("bad arrival %q", fields[0])
 	}
 	var op Op

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV drives the tracegen-format parser with arbitrary input.
+// Invariants: the parser never panics, and any input it accepts
+// round-trips — writing the parsed requests and parsing them again
+// yields the same requests (WriteCSV output is a canonical form that
+// ReadCSV is closed over).
+func FuzzReadCSV(f *testing.F) {
+	f.Add("arrival_us,op,lpn,pages\n0,read,0,1\n10,write,42,4\n")
+	f.Add("arrival_us,op,lpn,pages\n")
+	f.Add("arrival_us,op,lpn,pages\n\n  5 , read , 7 , 2 \n")
+	f.Add("arrival_us,op,lpn,pages\n0,erase,0,1\n")
+	f.Add("arrival_us,op,lpn,pages\n-1,read,0,1\n")
+	f.Add("arrival_us,op,lpn,pages\n9223372036854775807,read,0,1\n")
+	f.Add("no header\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		reqs, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics and accept-then-corrupt are not
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, reqs); err != nil {
+			t.Fatalf("WriteCSV of accepted input: %v", err)
+		}
+		again, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of written output: %v\noutput: %q", err, buf.String())
+		}
+		if len(reqs) != len(again) || (len(reqs) > 0 && !reflect.DeepEqual(reqs, again)) {
+			t.Fatalf("round trip changed requests:\n in: %v\nout: %v", reqs, again)
+		}
+	})
+}
+
+// FuzzReadMSR drives the MSR-Cambridge parser with arbitrary input.
+// Invariants: no panics, and every accepted request is well-formed —
+// non-negative arrival, read/write op, at least one page, and LPNs
+// inside the wrap window when wrapping is on.
+func FuzzReadMSR(f *testing.F) {
+	f.Add("128166372003061629,hm,0,Read,2520293376,4096,1331\n128166372016382155,hm,0,Write,2520293376,16384,968\n")
+	f.Add("0,h,0,read,0,1,0\n")
+	f.Add("5,h,0,Write,18446744073709551615,2,0\n")
+	f.Add("5,h,0,Write,0,18446744073709551615,0\n")
+	f.Add("1,h,0,Flush,0,4096,0\n")
+	f.Add("\n\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		for _, cfg := range []MSRConfig{DefaultMSRConfig(), {PageSize: 16 * 1024, WrapPages: 1 << 20}} {
+			reqs, err := ReadMSR(strings.NewReader(data), cfg)
+			if err != nil {
+				continue
+			}
+			for i, r := range reqs {
+				if r.Arrival < 0 {
+					t.Fatalf("request %d: negative arrival %v", i, r.Arrival)
+				}
+				if r.Op != Read && r.Op != Write {
+					t.Fatalf("request %d: bad op %v", i, r.Op)
+				}
+				if r.Pages < 1 {
+					t.Fatalf("request %d: %d pages", i, r.Pages)
+				}
+				if cfg.WrapPages > 0 && r.LPN+uint64(r.Pages) > cfg.WrapPages {
+					t.Fatalf("request %d: [%d, %d) outside wrap window %d",
+						i, r.LPN, r.LPN+uint64(r.Pages), cfg.WrapPages)
+				}
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -73,6 +74,9 @@ func ReadMSR(r io.Reader, cfg MSRConfig) ([]Request, error) {
 		if err != nil || size == 0 {
 			return nil, fmt.Errorf("trace: msr line %d: bad size %q", line, fields[5])
 		}
+		if offset > math.MaxUint64-(size-1) {
+			return nil, fmt.Errorf("trace: msr line %d: offset %d + size %d overflows", line, offset, size)
+		}
 		if first {
 			base = ts
 			first = false
@@ -84,7 +88,11 @@ func ReadMSR(r io.Reader, cfg MSRConfig) ([]Request, error) {
 		}
 		lpn := offset / uint64(cfg.PageSize)
 		lastByte := offset + size - 1
-		pages := int(lastByte/uint64(cfg.PageSize) - lpn + 1)
+		pages64 := lastByte/uint64(cfg.PageSize) - lpn + 1
+		if pages64 > math.MaxInt32 {
+			return nil, fmt.Errorf("trace: msr line %d: request spans %d pages", line, pages64)
+		}
+		pages := int(pages64)
 		if cfg.WrapPages > 0 {
 			lpn %= cfg.WrapPages
 			if uint64(pages) > cfg.WrapPages {
