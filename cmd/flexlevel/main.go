@@ -12,13 +12,19 @@
 //	flexlevel retshare           retention-error share by Vth level (§4.2)
 //	flexlevel replay -trace f    replay a CSV or MSR trace file
 //	flexlevel reliability [-faults m]  fault-injection sweep: bad blocks, degradation
+//	flexlevel crash [-crashes k] power-loss sweep: journal replay, recovery audit
 //	flexlevel all   [-n N]       everything above in order
+//
+// SIGINT cancels a running sweep cleanly: shards not yet started stay
+// unrun and the partial engine summary is still written (with -csv).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"flexlevel/internal/core"
 	"flexlevel/internal/exp"
@@ -28,7 +34,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-trace file -format csv|msr]")
+	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|crash|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-crashes k] [-trace file -format csv|msr]")
 	os.Exit(2)
 }
 
@@ -43,13 +49,16 @@ func main() {
 	pe := fs.Int("pe", 6000, "P/E cycle point for fig6a/fig7/ablations")
 	parallel := fs.Int("parallel", 0, "experiment engine workers (0 = all cores); results are byte-identical for any value")
 	faults := fs.Float64("faults", 1, "fault-rate multiplier for the reliability sweep (0 disables injection)")
+	crashes := fs.Int("crashes", 24, "crash points for the crash subcommand")
 	traceFile := fs.String("trace", "", "trace file for the replay subcommand")
 	format := fs.String("format", "csv", "trace file format: csv (tracegen) or msr (MSR-Cambridge)")
 	csvDir := fs.String("csv", "", "also write plotting-friendly CSV artifacts into this directory")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
-	cfg := exp.SimConfig{Requests: *n, Seed: *seed, PE: *pe, Parallel: *parallel}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cfg := exp.SimConfig{Requests: *n, Seed: *seed, PE: *pe, Parallel: *parallel, Ctx: ctx}
 	// Every engine sweep emits a machine-readable JSON summary (wall
 	// time, speedup vs serial, ops/sec, per-shard timing) next to the
 	// CSV artifacts when -csv is given.
@@ -210,6 +219,18 @@ func main() {
 			if err := writeCSV("reliability.csv", func(f *os.File) error { return exp.WriteReliabilityCSV(f, rows) }); err != nil {
 				return err
 			}
+		case "crash":
+			data, err := exp.CrashRecovery(cfg, *crashes)
+			if err != nil {
+				return err
+			}
+			exp.PrintCrash(os.Stdout, data)
+			if err := writeCSV("crash.csv", func(f *os.File) error { return exp.WriteCrashCSV(f, data.Rows) }); err != nil {
+				return err
+			}
+			if err := writeCSV("crash_summary.json", func(f *os.File) error { return data.Summary.WriteJSON(f) }); err != nil {
+				return err
+			}
 		default:
 			usage()
 		}
@@ -218,7 +239,7 @@ func main() {
 
 	var names []string
 	if cmd == "all" {
-		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare", "reliability"}
+		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare", "reliability", "crash"}
 	} else {
 		names = []string{cmd}
 	}

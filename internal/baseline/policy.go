@@ -78,6 +78,12 @@ func (p *LDPCInSSD) Forget(block int) {
 	delete(p.mem, block)
 }
 
+// Reset drops all remembered levels (called on power loss: the memory
+// is controller RAM and does not survive a crash).
+func (p *LDPCInSSD) Reset() {
+	p.mem = make(map[int]int)
+}
+
 // Oracle always senses at exactly the required level.
 type Oracle struct{}
 

@@ -136,6 +136,14 @@ type Metrics struct {
 	ReadRetries         int64
 	DataLoss            int64
 	Degraded            bool
+
+	// Crash recovery (nonzero only when power-loss injection is on and
+	// the caller drove Restart through the device).
+	Crashes         int64
+	InFlightLost    int64
+	RecoveryReads   int64
+	RecoveryRecords int64
+	RecoveryTime    float64 // seconds of recovery unavailability
 }
 
 // berModels builds the closed-form BER functions for the two states.
@@ -271,6 +279,23 @@ func (r *Runner) Run(w trace.Workload) (Metrics, error) {
 // of logical pages to precondition; pass 0 to derive it from the
 // largest page the stream touches.
 func (r *Runner) RunRequests(name string, reqs []trace.Request, workingSet uint64) (Metrics, error) {
+	if err := r.Prepare(reqs, workingSet); err != nil {
+		return Metrics{}, err
+	}
+	for _, req := range reqs {
+		if err := r.Step(req); err != nil {
+			return Metrics{}, err
+		}
+	}
+	return r.Finish(name), nil
+}
+
+// Prepare preconditions the device for a request stream: it derives the
+// working set (when 0) from the largest page the stream touches and
+// preloads it. After Prepare, the stream can be replayed one request at
+// a time with Step — the decomposition the crash-recovery experiments
+// use to cut power mid-stream, Restart, and continue.
+func (r *Runner) Prepare(reqs []trace.Request, workingSet uint64) error {
 	if workingSet == 0 {
 		for _, req := range reqs {
 			if end := req.LPN + uint64(req.Pages); end > workingSet {
@@ -278,27 +303,46 @@ func (r *Runner) RunRequests(name string, reqs []trace.Request, workingSet uint6
 			}
 		}
 	}
-	if err := r.preload(workingSet); err != nil {
-		return Metrics{}, err
+	return r.preload(workingSet)
+}
+
+// Step replays one request. A device felled by a power loss (before the
+// call or on any page of it) surfaces as an error matching
+// ftl.ErrPowerLoss; the caller decides whether that is fatal or the cue
+// to run ssd.Device.Restart and resume.
+func (r *Runner) Step(req trace.Request) error {
+	if r.device.Crashed() {
+		return ftl.ErrPowerLoss
 	}
-	for _, req := range reqs {
-		for p := 0; p < req.Pages; p++ {
-			lpn := req.LPN + uint64(p)
-			if lpn >= r.opts.SSD.FTL.LogicalPages {
-				lpn %= r.opts.SSD.FTL.LogicalPages
+	for p := 0; p < req.Pages; p++ {
+		lpn := req.LPN + uint64(p)
+		if lpn >= r.opts.SSD.FTL.LogicalPages {
+			lpn %= r.opts.SSD.FTL.LogicalPages
+		}
+		if req.Op == trace.Read {
+			if err := r.read(req.Arrival, lpn); err != nil {
+				return err
 			}
-			if req.Op == trace.Read {
-				if err := r.read(req.Arrival, lpn); err != nil {
-					return Metrics{}, err
+			if r.device.Crashed() {
+				// A background migration triggered by the read hit the
+				// cut; reads return no error, so check explicitly.
+				return ftl.ErrPowerLoss
+			}
+		} else {
+			if _, err := r.device.Write(req.Arrival, lpn, r.writeState(lpn)); err != nil {
+				if errors.Is(err, ftl.ErrPowerLoss) {
+					return err
 				}
-			} else {
-				if _, err := r.device.Write(req.Arrival, lpn, r.writeState(lpn)); err != nil {
-					return Metrics{}, fmt.Errorf("core: %s write lpn %d: %w", r.opts.System, lpn, err)
-				}
+				return fmt.Errorf("core: %s write lpn %d: %w", r.opts.System, lpn, err)
 			}
 		}
 	}
-	return r.metrics(name), nil
+	return nil
+}
+
+// Finish closes a Prepare/Step sequence and returns the metrics.
+func (r *Runner) Finish(name string) Metrics {
+	return r.metrics(name)
 }
 
 func (r *Runner) preload(pages uint64) error {
@@ -377,6 +421,11 @@ func (r *Runner) metrics(workload string) Metrics {
 	m.ReadRetries = res.ReadRetries
 	m.DataLoss = res.DataLoss
 	m.Degraded = r.device.Degraded()
+	m.Crashes = res.Crashes
+	m.InFlightLost = res.InFlightLost
+	m.RecoveryReads = res.RecoveryReads
+	m.RecoveryRecords = res.RecoveryRecords
+	m.RecoveryTime = res.RecoveryTime.Seconds()
 	if r.ctrl != nil {
 		m.Migrations = r.ctrl.Migrations()
 		m.Evictions = r.ctrl.Evictions()

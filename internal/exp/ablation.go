@@ -42,7 +42,7 @@ func EncodingAblation(cfg SimConfig) ([]AblationEncoding, error) {
 		{nc.Spec(), reducecode.GrayOn3Levels()},
 		{nunma.SLCModeSpec(), noise.SLCMode()},
 	}
-	out, _, err := runner.Map(cfg.engine("ablation-encoding"), cases,
+	out, _, err := runner.Map(cfg.Ctx, cfg.engine("ablation-encoding"), cases,
 		func(_ int, c encodingCase) string { return "encoding=" + c.enc.Name },
 		func(_ runner.Shard, c encodingCase) (AblationEncoding, error) {
 			m, err := noise.NewBERModel(c.spec, c.enc)
@@ -98,7 +98,7 @@ func MarginAblation(cfg SimConfig) ([]AblationMargin, error) {
 		{"uniform (basic §4.1)", nunma.BasicLevelAdjust()},
 		{"NUNMA 3", cfg3.Spec()},
 	}
-	out, _, err := runner.Map(cfg.engine("ablation-margins"), cases,
+	out, _, err := runner.Map(cfg.Ctx, cfg.engine("ablation-margins"), cases,
 		func(_ int, c marginCase) string { return "margins=" + c.name },
 		func(_ runner.Shard, c marginCase) (AblationMargin, error) {
 			m, err := noise.NewBERModel(c.spec, reducecode.Encoding())
@@ -154,7 +154,7 @@ func HLOAblation(cfg SimConfig) ([]AblationHLO, error) {
 			return p
 		}},
 	}
-	results, _, err := runner.Map(cfg.engine("ablation-hlo"), cases,
+	results, _, err := runner.Map(cfg.Ctx, cfg.engine("ablation-hlo"), cases,
 		func(_ int, c hloCase) string { return "rule=" + c.name },
 		func(s runner.Shard, c hloCase) (core.Metrics, error) {
 			o := core.DefaultOptions(core.FlexLevel, cfg.PE)
@@ -222,7 +222,7 @@ func PoolSweep(cfg SimConfig, fractions []float64) ([]AblationPool, error) {
 	// Shard 0 is the reference; shard i+1 is fractions[i]. A negative
 	// fraction marks the reference cell.
 	cells := append([]float64{-1}, fractions...)
-	results, _, err := runner.Map(cfg.engine("ablation-pool"), cells,
+	results, _, err := runner.Map(cfg.Ctx, cfg.engine("ablation-pool"), cells,
 		func(_ int, frac float64) string {
 			if frac < 0 {
 				return "ref=ldpc-in-ssd"
@@ -307,7 +307,7 @@ func ScrubAblation(cfg SimConfig) ([]AblationScrub, error) {
 		}},
 		{"FlexLevel", func() core.Options { return core.DefaultOptions(core.FlexLevel, cfg.PE) }},
 	}
-	results, _, err := runner.Map(cfg.engine("ablation-scrub"), cases,
+	results, _, err := runner.Map(cfg.Ctx, cfg.engine("ablation-scrub"), cases,
 		func(_ int, c scrubCase) string { return "scheme=" + c.scheme },
 		func(s runner.Shard, c scrubCase) (core.Metrics, error) {
 			o := c.opts()
@@ -381,7 +381,7 @@ func ChannelAblation(cfg SimConfig, channelCounts []int) ([]AblationChannels, er
 	for _, ch := range channelCounts {
 		cells = append(cells, chCell{ch, core.LDPCInSSD}, chCell{ch, core.FlexLevel})
 	}
-	results, _, err := runner.Map(cfg.engine("ablation-channels"), cells,
+	results, _, err := runner.Map(cfg.Ctx, cfg.engine("ablation-channels"), cells,
 		func(_ int, c chCell) string { return fmt.Sprintf("channels=%d/system=%v", c.Channels, c.System) },
 		func(s runner.Shard, c chCell) (core.Metrics, error) {
 			o := core.DefaultOptions(c.System, cfg.PE)

@@ -9,6 +9,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -66,7 +67,7 @@ type Fig5Row struct {
 // three NUNMA reduced-state configurations, one engine shard per scheme.
 func Fig5(cfg SimConfig) ([]Fig5Row, error) {
 	schemes := append([]string{"Baseline"}, nunmaNames()...)
-	rows, _, err := runner.Map(cfg.engine("fig5"), schemes,
+	rows, _, err := runner.Map(cfg.Ctx, cfg.engine("fig5"), schemes,
 		func(_ int, scheme string) string { return "scheme=" + scheme },
 		func(_ runner.Shard, scheme string) (Fig5Row, error) {
 			m, err := schemeModel(scheme)
@@ -125,7 +126,7 @@ type Table4Cell struct {
 // Table4 computes the retention BER grid: baseline plus NUNMA 1-3 at
 // each P/E point and storage time, one engine shard per P/E point.
 func Table4(cfg SimConfig) ([]Table4Cell, error) {
-	perPE, _, err := runner.Map(cfg.engine("table4"), PEPoints,
+	perPE, _, err := runner.Map(cfg.Ctx, cfg.engine("table4"), PEPoints,
 		func(_ int, pe int) string { return fmt.Sprintf("pe=%d", pe) },
 		func(s runner.Shard, pe int) ([]Table4Cell, error) {
 			base, nunmas, names, err := deviceModels()
@@ -269,6 +270,10 @@ type SimConfig struct {
 	// OnSummary, when non-nil, receives the engine summary of every
 	// sweep run with this config (one per runner.Map call).
 	OnSummary func(*runner.Summary)
+	// Ctx, when non-nil, cancels sweeps early (SIGINT in the CLI):
+	// undispatched shards stay unrun and the partial summary is still
+	// emitted through OnSummary.
+	Ctx context.Context
 }
 
 // engine builds the runner configuration for a named sweep.
@@ -315,7 +320,7 @@ func Fig6a(cfg SimConfig) (*Fig6aData, error) {
 			cells = append(cells, fig6aCell{Workload: w.Name, System: sys})
 		}
 	}
-	results, _, err := runner.Map(cfg.engine(fmt.Sprintf("fig6a-pe%d", cfg.PE)), cells,
+	results, _, err := runner.Map(cfg.Ctx, cfg.engine(fmt.Sprintf("fig6a-pe%d", cfg.PE)), cells,
 		func(_ int, c fig6aCell) string {
 			return fmt.Sprintf("workload=%s/system=%v", c.Workload, c.System)
 		},

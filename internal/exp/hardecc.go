@@ -44,7 +44,7 @@ func HardECCStudy(cfg SimConfig) ([]HardECCRow, error) {
 		{Name: "LDPC hard decision (0 levels)", Correctable: rule.KBase},
 		{Name: "LDPC soft, 6 extra levels", Correctable: rule.KBase + 6*rule.KStep},
 	}
-	rows, _, err := runner.Map(cfg.engine("hardecc"), cases,
+	rows, _, err := runner.Map(cfg.Ctx, cfg.engine("hardecc"), cases,
 		func(_ int, c HardECCRow) string { return "ecc=" + c.Name },
 		func(_ runner.Shard, c HardECCRow) (HardECCRow, error) {
 			c.MaxBER = maxTolerableBER(code, c.Correctable)

@@ -27,7 +27,7 @@ type RefTuneRow struct {
 // engine shard (reference tuning runs a grid search, the costly cell).
 func RefTuneAblation(cfg SimConfig, pe int, hours float64) ([]RefTuneRow, error) {
 	schemes := []string{"baseline MLC", "baseline + ref tuning", "LevelAdjust (NUNMA 3)"}
-	rows, _, err := runner.Map(cfg.engine("ablation-reftune"), schemes,
+	rows, _, err := runner.Map(cfg.Ctx, cfg.engine("ablation-reftune"), schemes,
 		func(_ int, scheme string) string { return "scheme=" + scheme },
 		func(_ runner.Shard, scheme string) (RefTuneRow, error) {
 			rule := sensing.DefaultRule()

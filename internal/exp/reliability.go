@@ -88,7 +88,7 @@ func Reliability(cfg SimConfig, scales []float64) ([]ReliabilityRow, error) {
 			cells = append(cells, reliabilityCell{Scale: scale, System: sys})
 		}
 	}
-	rows, _, err := runner.Map(cfg.engine("reliability"), cells,
+	rows, _, err := runner.Map(cfg.Ctx, cfg.engine("reliability"), cells,
 		func(_ int, c reliabilityCell) string {
 			return fmt.Sprintf("scale=%g/system=%v", c.Scale, c.System)
 		},

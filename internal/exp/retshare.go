@@ -33,7 +33,7 @@ func RetentionShares(cfg SimConfig) ([]RetentionShare, []float64, error) {
 			cells = append(cells, gridCell{PE: pe, Hours: t.Hours})
 		}
 	}
-	rows, _, err := runner.Map(cfg.engine("retshare"), cells,
+	rows, _, err := runner.Map(cfg.Ctx, cfg.engine("retshare"), cells,
 		func(_ int, c gridCell) string { return fmt.Sprintf("pe=%d/hours=%g", c.PE, c.Hours) },
 		func(_ runner.Shard, c gridCell) (RetentionShare, error) {
 			m, err := noise.NewBERModel(nunma.BasicLevelAdjust(), reducecode.Encoding())

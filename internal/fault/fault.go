@@ -37,6 +37,15 @@ const (
 	// to decode but a retry (possibly at a higher sensing level) may
 	// succeed.
 	Read
+	// PowerLoss cuts power mid-operation: the physical program or erase
+	// in flight is torn, every volatile controller structure is lost,
+	// and the device stays down until recovery replays its durable
+	// metadata. The FTL performs one PowerLoss check per physical media
+	// operation, so a script event {PowerLoss, N} means "die during the
+	// Nth NAND program/erase" (0-based) — mid-GC, mid-migration,
+	// mid-retirement, or between the two program steps of a reduced
+	// page, depending on where N lands.
+	PowerLoss
 	// NumOps is the number of fault classes.
 	NumOps
 )
@@ -51,6 +60,8 @@ func (o Op) String() string {
 		return "grown"
 	case Read:
 		return "read"
+	case PowerLoss:
+		return "power-loss"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -136,10 +147,11 @@ type Config struct {
 	Seed int64
 
 	// One rate curve per fault class.
-	Program RateCurve
-	Erase   RateCurve
-	Grown   RateCurve
-	Read    RateCurve
+	Program   RateCurve
+	Erase     RateCurve
+	Grown     RateCurve
+	Read      RateCurve
+	PowerLoss RateCurve
 
 	// Script, when non-empty, replaces the stochastic curves entirely:
 	// exactly the listed checks fail and nothing else, with no RNG use.
@@ -149,7 +161,8 @@ type Config struct {
 // Enabled reports whether the configuration can ever inject a fault.
 func (c Config) Enabled() bool {
 	return len(c.Script) > 0 ||
-		!c.Program.Zero() || !c.Erase.Zero() || !c.Grown.Zero() || !c.Read.Zero()
+		!c.Program.Zero() || !c.Erase.Zero() || !c.Grown.Zero() ||
+		!c.Read.Zero() || !c.PowerLoss.Zero()
 }
 
 // Scaled returns a copy with every curve's probability multiplied by m
@@ -163,6 +176,7 @@ func (c Config) Scaled(m float64) Config {
 	c.Erase = c.Erase.scaled(m)
 	c.Grown = c.Grown.scaled(m)
 	c.Read = c.Read.scaled(m)
+	c.PowerLoss = c.PowerLoss.scaled(m)
 	return c
 }
 
@@ -172,7 +186,8 @@ func (c Config) Validate() error {
 		name  string
 		curve RateCurve
 	}{
-		{"program", c.Program}, {"erase", c.Erase}, {"grown", c.Grown}, {"read", c.Read},
+		{"program", c.Program}, {"erase", c.Erase}, {"grown", c.Grown},
+		{"read", c.Read}, {"power-loss", c.PowerLoss},
 	} {
 		if err := cl.curve.Validate(); err != nil {
 			return fmt.Errorf("%w (%s class)", err, cl.name)
@@ -260,6 +275,8 @@ func (i *Injector) curve(op Op) RateCurve {
 		return i.cfg.Erase
 	case Grown:
 		return i.cfg.Grown
+	case PowerLoss:
+		return i.cfg.PowerLoss
 	default:
 		return i.cfg.Read
 	}

@@ -42,7 +42,7 @@ func TestRateCurveProb(t *testing.T) {
 	}
 	// Saturating curves clamp at 1.
 	s := RateCurve{Base: 0.9, Amp: 0.1, Scale: 1, Shape: 1}
-	if s.Prob(1 << 20) > 1 {
+	if s.Prob(1<<20) > 1 {
 		t.Error("Prob exceeded 1")
 	}
 }

@@ -24,6 +24,13 @@ var ErrDegraded = errors.New("ftl: degraded mode, writes disabled (bad blocks ex
 // left intact.
 var ErrWriteFailed = errors.New("ftl: program retries exhausted")
 
+// ErrPowerLoss is returned once an injected power cut has torn a
+// physical media operation: the FTL is dead, every volatile structure
+// is garbage, and only Recover over the durable Media brings the
+// device back. The operation that observed the cut was never
+// acknowledged.
+var ErrPowerLoss = errors.New("ftl: power lost mid-operation")
+
 // BlockState mirrors the LevelAdjust cell state at block granularity.
 type BlockState int
 
@@ -64,6 +71,11 @@ type Config struct {
 	// program is retried on before the write errs out. 0 selects
 	// DefaultProgramRetries.
 	MaxProgramRetries int
+	// Journal enables the crash-consistency layer: per-page OOB
+	// metadata, the write-ahead metadata journal and periodic
+	// checkpoints (DESIGN.md §10). Disabled by default — a journal-free
+	// FTL is bit-identical to the pre-journal implementation.
+	Journal JournalConfig
 }
 
 // DefaultProgramRetries is the program-retry bound when
@@ -127,6 +139,9 @@ func (c Config) Validate() error {
 	if c.MaxProgramRetries < 0 {
 		return fmt.Errorf("ftl: negative program-retry bound")
 	}
+	if err := c.Journal.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -145,6 +160,9 @@ type OpCount struct {
 	CopyReads int // page reads performed to relocate data
 	Erases    int
 	GCRuns    int
+	// MetaPrograms counts metadata-page programs (journal flushes and
+	// checkpoint pages); zero unless the journal is enabled.
+	MetaPrograms int
 }
 
 // Add accumulates other into o.
@@ -153,6 +171,7 @@ func (o *OpCount) Add(other OpCount) {
 	o.CopyReads += other.CopyReads
 	o.Erases += other.Erases
 	o.GCRuns += other.GCRuns
+	o.MetaPrograms += other.MetaPrograms
 }
 
 // Stats are cumulative FTL counters.
@@ -171,6 +190,33 @@ type Stats struct {
 	RetiredBlocks   int64 // total blocks taken out of service
 	SparesUsed      int64 // retirements backfilled from the spare pool
 	RetireCopies    int64 // valid pages relocated off retiring blocks
+
+	// Crash-consistency layer (zero unless Config.Journal is enabled).
+	MetaPrograms   int64 // metadata-page programs (journal + checkpoints)
+	JournalFlushes int64 // journal frames made durable
+	Checkpoints    int64 // full mapping snapshots written
+}
+
+// Add returns the field-wise sum of s and other — used to carry
+// counters across a crash/restart, where the recovered FTL starts with
+// fresh statistics.
+func (s Stats) Add(other Stats) Stats {
+	s.UserPrograms += other.UserPrograms
+	s.GCPrograms += other.GCPrograms
+	s.MigrationPrograms += other.MigrationPrograms
+	s.CopyReads += other.CopyReads
+	s.Erases += other.Erases
+	s.GCRuns += other.GCRuns
+	s.ProgramFailures += other.ProgramFailures
+	s.EraseFailures += other.EraseFailures
+	s.GrownBadBlocks += other.GrownBadBlocks
+	s.RetiredBlocks += other.RetiredBlocks
+	s.SparesUsed += other.SparesUsed
+	s.RetireCopies += other.RetireCopies
+	s.MetaPrograms += other.MetaPrograms
+	s.JournalFlushes += other.JournalFlushes
+	s.Checkpoints += other.Checkpoints
+	return s
 }
 
 // TotalPrograms returns all page programs performed.
@@ -211,9 +257,17 @@ type FTL struct {
 
 	stats     Stats
 	wearSwaps int64
-	retired   int  // lifetime bad-block count (survives ResetStats)
+	retired   int // lifetime bad-block count (survives ResetStats)
 	degraded  bool
 	inRetire  bool // suppress nested faults while relocating off a bad block
+
+	// Crash-consistency state (nil/zero unless cfg.Journal.Enabled).
+	media    *Media   // durable image: per-page OOB, journal log, checkpoint
+	pending  []Record // journal records buffered in RAM, lost on a power cut
+	flushes  int      // journal flushes since the last checkpoint
+	seq      uint64   // global mutation sequence number
+	mediaOps int64    // physical media operations issued (PowerLoss check index)
+	dead     bool     // a power cut fired; every entry point returns ErrPowerLoss
 
 	// OnRelocate, when set, is called for every page the FTL moves
 	// (GC copies), letting the caller refresh per-page metadata such as
@@ -264,6 +318,9 @@ func New(cfg Config) (*FTL, error) {
 		f.free = append(f.free, b)
 	}
 	f.active = map[BlockState]*activeBlock{}
+	if cfg.Journal.Enabled {
+		f.media = newMedia(cfg)
+	}
 	return f, nil
 }
 
@@ -282,6 +339,27 @@ func (f *FTL) SpareBlocksLeft() int { return len(f.spare) }
 // Degraded reports whether the FTL has entered degraded mode: reads are
 // still served but Write/Migrate return ErrDegraded.
 func (f *FTL) Degraded() bool { return f.degraded }
+
+// Dead reports whether an injected power cut has killed the FTL. A dead
+// FTL rejects every operation with ErrPowerLoss; Recover over Media
+// builds its replacement.
+func (f *FTL) Dead() bool { return f.dead }
+
+// Media returns the durable media image, or nil when the journal is
+// disabled. After a crash it is the sole input to Recover.
+func (f *FTL) Media() *Media { return f.media }
+
+// MediaOps returns how many physical media operations (page programs,
+// erases, metadata-page programs) the FTL has issued. It is the
+// coordinate space of fault.PowerLoss script indexes: scripting index N
+// tears the operation that would have been mediaOps == N+1.
+func (f *FTL) MediaOps() int64 { return f.mediaOps }
+
+// EncodeState serializes the FTL's complete durable-logical state (the
+// checkpoint encoding): mapping table, block states, wear, bad/spare
+// pools. Two FTLs with equal EncodeState serve identical reads and
+// fail identically; the recovery tests use it to prove idempotence.
+func (f *FTL) EncodeState() []byte { return f.encodeCheckpoint() }
 
 // BadBlock reports whether block b has been retired.
 func (f *FTL) BadBlock(b int) bool { return f.bad[b] }
@@ -359,6 +437,9 @@ func (f *FTL) Write(lpn uint64, state BlockState) (int64, OpCount, error) {
 	if lpn >= f.cfg.LogicalPages {
 		return 0, ops, fmt.Errorf("ftl: lpn %d out of range", lpn)
 	}
+	if f.dead {
+		return 0, ops, ErrPowerLoss
+	}
 	if f.degraded {
 		return 0, ops, ErrDegraded
 	}
@@ -384,7 +465,23 @@ func (f *FTL) Trim(lpn uint64) error {
 	if lpn >= f.cfg.LogicalPages {
 		return fmt.Errorf("ftl: trim lpn %d out of range", lpn)
 	}
+	if f.dead {
+		return ErrPowerLoss
+	}
+	if f.l2p[lpn] == unmapped {
+		return nil
+	}
 	f.invalidate(lpn)
+	if f.media != nil {
+		// No OOB backs a trim, so its record must be durable before the
+		// trim is acknowledged: journal it and flush synchronously.
+		if err := f.journalAppend(nil, Record{Type: recTrim, Seq: f.nextSeq(), LPN: lpn}); err != nil {
+			return fmt.Errorf("ftl: trim lpn %d: %w", lpn, err)
+		}
+		if err := f.journalFlush(nil); err != nil {
+			return fmt.Errorf("ftl: trim lpn %d: %w", lpn, err)
+		}
+	}
 	return nil
 }
 
@@ -395,6 +492,9 @@ func (f *FTL) Migrate(lpn uint64, state BlockState) (int64, OpCount, error) {
 	var ops OpCount
 	if !f.Mapped(lpn) {
 		return 0, ops, fmt.Errorf("ftl: migrate of unmapped lpn %d", lpn)
+	}
+	if f.dead {
+		return 0, ops, ErrPowerLoss
 	}
 	if f.degraded {
 		return 0, ops, ErrDegraded
@@ -435,6 +535,126 @@ func (f *FTL) restoreMapping(lpn uint64, old int64) {
 	f.blockValid[f.blockOf(old)]++
 }
 
+// ---------------------------------------------- crash-consistency plumbing
+
+// mediaTick accounts one physical media operation (a page program, an
+// erase, or — for block < 0 — a metadata-page program) and consults the
+// fault hook for an injected power cut. It returns false when power
+// dies during this very operation: the op is torn and the FTL is dead.
+// Unlike program/erase-status faults, power loss is never suppressed
+// during retirement relocation — power can die anywhere.
+func (f *FTL) mediaTick(block int) bool {
+	if f.dead {
+		return false
+	}
+	f.mediaOps++
+	if f.Fault != nil {
+		pe := 0
+		if block >= 0 {
+			pe = f.blockPE[block]
+		}
+		if f.Fault(fault.PowerLoss, block, pe) {
+			f.dead = true
+			return false
+		}
+	}
+	return true
+}
+
+// nextSeq assigns the next global mutation sequence number. Records are
+// buffered and flushed in FIFO order, so every flushed record has a
+// lower seq than every unflushed one — the ordering recovery relies on
+// to rank OOB-scan candidates against the replayed journal.
+func (f *FTL) nextSeq() uint64 {
+	f.seq++
+	return f.seq
+}
+
+// journalAppend buffers one record, flushing the buffer to the durable
+// journal once it reaches the configured page capacity. ops (which may
+// be nil, e.g. on the Trim path) is charged for metadata programs.
+func (f *FTL) journalAppend(ops *OpCount, r Record) error {
+	if f.media == nil {
+		return nil
+	}
+	if f.dead {
+		return ErrPowerLoss
+	}
+	f.pending = append(f.pending, r)
+	if len(f.pending) >= f.cfg.Journal.flushRecords() {
+		return f.journalFlush(ops)
+	}
+	return nil
+}
+
+// journalFlush programs the buffered records into the journal as one
+// CRC-framed metadata page. A power cut during the flush tears the
+// frame: its records die with the RAM buffer — none were acknowledged
+// through this flush (programs they describe may still be recovered
+// from their own OOB).
+func (f *FTL) journalFlush(ops *OpCount) error {
+	if f.media == nil || len(f.pending) == 0 {
+		return nil
+	}
+	if f.dead {
+		return ErrPowerLoss
+	}
+	if !f.mediaTick(-1) {
+		// Torn flush: the interrupted frame is trailing garbage that
+		// DecodeJournal recognizes as a torn tail and discards.
+		f.media.journal = append(f.media.journal, 0x46)
+		f.pending = nil
+		return ErrPowerLoss
+	}
+	f.media.journal = appendFrame(f.media.journal, f.pending)
+	f.pending = f.pending[:0]
+	f.stats.JournalFlushes++
+	f.stats.MetaPrograms++
+	if ops != nil {
+		ops.MetaPrograms++
+	}
+	f.flushes++
+	if f.flushes >= f.cfg.Journal.checkpointEvery() {
+		return f.writeCheckpoint(ops)
+	}
+	return nil
+}
+
+// metaPageBytes sizes the metadata pages holding checkpoint blobs,
+// matching the 16KB data page: a checkpoint costs ceil(len/16KB)
+// metadata-page programs.
+const metaPageBytes = 16 * 1024
+
+// writeCheckpoint snapshots the full mapping state and truncates the
+// journal. The checkpoint area is two-slot: the old checkpoint is
+// replaced only after the last page of the new one has programmed, so
+// a power cut mid-checkpoint falls back to the old checkpoint plus the
+// old (untruncated) journal.
+func (f *FTL) writeCheckpoint(ops *OpCount) error {
+	if f.media == nil {
+		return nil
+	}
+	blob := f.encodeCheckpoint()
+	pages := (len(blob) + metaPageBytes - 1) / metaPageBytes
+	if pages < 1 {
+		pages = 1
+	}
+	for i := 0; i < pages; i++ {
+		if !f.mediaTick(-1) {
+			return ErrPowerLoss
+		}
+		f.stats.MetaPrograms++
+		if ops != nil {
+			ops.MetaPrograms++
+		}
+	}
+	f.media.checkpoint = blob
+	f.media.journal = f.media.journal[:0]
+	f.flushes = 0
+	f.stats.Checkpoints++
+	return nil
+}
+
 // failProgram consults the fault hook for a page program on block b.
 // Faults are suppressed while relocating off a retiring block: the
 // relocation is already the failure path, and a nested fault there
@@ -449,31 +669,73 @@ func (f *FTL) failProgram(b int) bool {
 // program is replayed on a fresh block, up to the configured retry
 // bound; every failed attempt is still charged as a program.
 func (f *FTL) appendPage(lpn uint64, state BlockState, ops *OpCount) (int64, error) {
+	if f.dead {
+		return 0, ErrPowerLoss
+	}
 	for retries := 0; ; retries++ {
 		ab := f.active[state]
 		if ab == nil || ab.nextPage >= f.usablePages(state) {
-			b, err := f.allocBlock(state)
+			b, err := f.allocBlock(state, ops)
 			if err != nil {
-				return 0, err
+				return 0, fmt.Errorf("ftl: append lpn %d: %w", lpn, err)
 			}
 			ab = &activeBlock{block: b}
 			f.active[state] = ab
 		}
-		p := f.ppn(ab.block, ab.nextPage)
+		page := ab.nextPage
+		p := f.ppn(ab.block, page)
 		ab.nextPage++
 		f.blockUsed[ab.block]++
+		// A reduced-state page programs in two pulses (ReduceCode's
+		// coarse/fine sequence, paper §4.3), so power can die between
+		// them; either way the page is torn.
+		steps := 1
+		if state == ReducedState {
+			steps = 2
+		}
+		for s := 0; s < steps; s++ {
+			if !f.mediaTick(ab.block) {
+				if f.media != nil {
+					f.media.oob[p] = OOB{Written: true} // torn page: OOB fails its CRC
+				}
+				return 0, fmt.Errorf("ftl: program block %d page %d (lpn %d): %w",
+					ab.block, page, lpn, ErrPowerLoss)
+			}
+		}
 		if f.failProgram(ab.block) {
 			ops.Programs++ // the failed pulse sequence still costs tPROG
 			f.stats.ProgramFailures++
+			if f.media != nil {
+				// A status-failed program leaves garbage in the page; its
+				// OOB fails the CRC check just like a torn page.
+				f.media.oob[p] = OOB{Written: true}
+			}
 			f.retire(ab.block, ops)
+			if f.dead {
+				return 0, fmt.Errorf("ftl: retire of block %d: %w", ab.block, ErrPowerLoss)
+			}
 			if retries >= f.cfg.programRetries() {
-				return 0, ErrWriteFailed
+				return 0, fmt.Errorf("ftl: program block %d page %d (lpn %d, %v pool): %w",
+					ab.block, page, lpn, state, ErrWriteFailed)
 			}
 			continue
 		}
 		f.l2p[lpn] = p
 		f.p2l[p] = int64(lpn)
 		f.blockValid[ab.block]++
+		if f.media != nil {
+			seq := f.nextSeq()
+			f.media.oob[p] = OOB{Written: true, Valid: true, LPN: lpn, State: state, Seq: seq}
+			if f.journalAppend(ops, Record{
+				Type: recProgram, Seq: seq, LPN: lpn, PPN: p, State: state,
+			}) != nil {
+				// Power died flushing the journal — but the program itself
+				// landed and its OOB is durable, so recovery re-derives the
+				// mapping without the record. The write stays acknowledged;
+				// the caller notices the dead FTL on its next operation.
+				return p, nil
+			}
+		}
 		return p, nil
 	}
 }
@@ -487,6 +749,14 @@ func (f *FTL) retire(b int, ops *OpCount) {
 	f.bad[b] = true
 	f.retired++
 	f.stats.RetiredBlocks++
+	if f.media != nil && !f.dead {
+		// Journal the retirement before relocating: replay re-marks the
+		// block bad and re-pulls its spare even when the relocations that
+		// follow never reach the journal (their OOB still does).
+		if f.journalAppend(ops, Record{Type: recRetire, Seq: f.nextSeq(), Block: int32(b)}) != nil {
+			return // power died in the flush; the FTL is dead
+		}
+	}
 	for state, ab := range f.active {
 		if ab != nil && ab.block == b {
 			f.active[state] = nil
@@ -549,9 +819,10 @@ func (f *FTL) checkDegraded() {
 
 // allocBlock hands out the least-worn free block (dynamic wear
 // leveling: erased blocks rotate by wear instead of recency).
-func (f *FTL) allocBlock(state BlockState) (int, error) {
+func (f *FTL) allocBlock(state BlockState, ops *OpCount) (int, error) {
 	if len(f.free) == 0 {
-		return 0, fmt.Errorf("ftl: out of free blocks (logical space overcommitted for the %v pool)", state)
+		return 0, fmt.Errorf("ftl: out of free blocks (logical space overcommitted for the %v pool; %d blocks retired, %d spares left)",
+			state, f.retired, len(f.spare))
 	}
 	best := 0
 	for i := 1; i < len(f.free); i++ {
@@ -564,18 +835,26 @@ func (f *FTL) allocBlock(state BlockState) (int, error) {
 	f.free = f.free[:len(f.free)-1]
 	f.blockState[b] = state // erased block: state switch is legal
 	f.blockUsed[b] = 0
+	if f.media != nil {
+		if err := f.journalAppend(ops, Record{Type: recAlloc, Seq: f.nextSeq(), Block: int32(b), State: state}); err != nil {
+			return 0, fmt.Errorf("ftl: alloc block %d (%v pool): %w", b, state, err)
+		}
+	}
 	return b, nil
 }
 
 // maybeGC reclaims blocks greedily until the free count reaches the
 // target, whenever it has fallen below the threshold.
 func (f *FTL) maybeGC(ops *OpCount) {
-	if len(f.free) >= f.cfg.GCThreshold {
+	if f.dead || len(f.free) >= f.cfg.GCThreshold {
 		return
 	}
 	f.stats.GCRuns++
 	ops.GCRuns++
 	for len(f.free) < f.cfg.GCTarget {
+		if f.dead {
+			return
+		}
 		victim := f.pickVictim()
 		if victim < 0 {
 			return // nothing reclaimable
@@ -648,19 +927,45 @@ func (f *FTL) reclaim(victim int, ops *OpCount) bool {
 			f.OnRelocate(uint64(lpn), old, newPPN)
 		}
 	}
-	f.blockUsed[victim] = 0
+	if !f.mediaTick(victim) {
+		// The erase pulse was interrupted by power loss. Model it as
+		// completed on the media (the block reads erased) but never
+		// journaled: recovery sees a block full of stale garbage and
+		// simply collects it again.
+		if f.media != nil {
+			f.media.eraseBlock(victim)
+		}
+		ops.Erases++
+		return false
+	}
 	if f.Fault != nil && f.Fault(fault.Erase, victim, f.blockPE[victim]) {
 		// Erase-status failure: the erase pulse was spent but the block
 		// would not clear — retire it instead of returning it to the
 		// free pool. All data was relocated above, so nothing is lost.
+		// The used count is NOT reset: the block still reads as fully
+		// programmed, which keeps recovery's OOB scan out of its stale
+		// spare areas.
 		ops.Erases++
 		f.stats.EraseFailures++
 		f.retire(victim, ops)
-		return true
+		return !f.dead
 	}
+	f.blockUsed[victim] = 0
 	f.blockPE[victim]++
 	f.stats.Erases++
 	ops.Erases++
+	if f.media != nil {
+		f.media.eraseBlock(victim)
+		// The erase record is flushed synchronously before the block can
+		// re-enter the free pool: recovery's OOB scan starts at each
+		// block's journal-known fill level, so a reused block must never
+		// carry fresher pages than an undeclared erase would hide.
+		if f.journalAppend(ops, Record{
+			Type: recErase, Seq: f.nextSeq(), Block: int32(victim), PE: int32(f.blockPE[victim]),
+		}) != nil || f.journalFlush(ops) != nil {
+			return false
+		}
+	}
 	if f.OnErase != nil {
 		f.OnErase(victim)
 	}
@@ -669,7 +974,7 @@ func (f *FTL) reclaim(victim int, ops *OpCount) bool {
 		// end-of-life (a grown bad block) and retired before reuse.
 		f.stats.GrownBadBlocks++
 		f.retire(victim, ops)
-		return true
+		return !f.dead
 	}
 	f.free = append(f.free, victim)
 	return true

@@ -1,0 +1,81 @@
+package ftl
+
+// The durable side of the simulated device. Everything in Media
+// survives a power cut; everything else in FTL (the mapping tables,
+// valid counts, the journal's RAM buffer) is volatile controller state
+// that Recover must rebuild from Media alone.
+
+// OOB is the out-of-band (spare-area) metadata programmed atomically
+// with every page: the logical page it stores, the block state it was
+// encoded for, and the global mutation sequence number of the program.
+// Valid models the OOB CRC check — a page whose program was torn by
+// power loss (or reported a program-status failure) carries Written
+// without Valid and is discarded by recovery.
+type OOB struct {
+	Written bool
+	Valid   bool
+	LPN     uint64
+	State   BlockState
+	Seq     uint64
+}
+
+// Media is the durable storage image: per-page OOB metadata, the
+// flushed journal log, and the last complete checkpoint. The journal's
+// unflushed RAM buffer lives in the FTL and dies with it.
+type Media struct {
+	pagesPerBlock int
+	oob           []OOB
+	journal       []byte
+	checkpoint    []byte
+}
+
+// newMedia builds an erased media image for the given geometry.
+func newMedia(cfg Config) *Media {
+	return &Media{
+		pagesPerBlock: cfg.PagesPerBlock,
+		oob:           make([]OOB, cfg.PagesPerBlock*cfg.Blocks),
+	}
+}
+
+// PageOOB returns the OOB metadata of a physical page. Out-of-range
+// pages read as erased.
+func (m *Media) PageOOB(ppn int64) OOB {
+	if m == nil || ppn < 0 || ppn >= int64(len(m.oob)) {
+		return OOB{}
+	}
+	return m.oob[ppn]
+}
+
+// JournalBytes returns a copy of the durable journal log (for tests
+// and fuzz corpora).
+func (m *Media) JournalBytes() []byte {
+	return append([]byte(nil), m.journal...)
+}
+
+// CheckpointBytes returns a copy of the last complete checkpoint blob.
+func (m *Media) CheckpointBytes() []byte {
+	return append([]byte(nil), m.checkpoint...)
+}
+
+// Clone returns an independent copy of the media image, so a second
+// recovery can be simulated without disturbing the first.
+func (m *Media) Clone() *Media {
+	if m == nil {
+		return nil
+	}
+	return &Media{
+		pagesPerBlock: m.pagesPerBlock,
+		oob:           append([]OOB(nil), m.oob...),
+		journal:       append([]byte(nil), m.journal...),
+		checkpoint:    append([]byte(nil), m.checkpoint...),
+	}
+}
+
+// eraseBlock clears the OOB of every page in block b (the erase pulse
+// resets the spare area along with the data area).
+func (m *Media) eraseBlock(b int) {
+	base := b * m.pagesPerBlock
+	for p := 0; p < m.pagesPerBlock; p++ {
+		m.oob[base+p] = OOB{}
+	}
+}

@@ -46,6 +46,9 @@ func (f *FTL) WearStats() WearStats {
 // them like GC traffic.
 func (f *FTL) LevelWear(threshold int) (OpCount, bool) {
 	var ops OpCount
+	if f.dead {
+		return ops, false
+	}
 	if threshold <= 0 {
 		threshold = 1
 	}

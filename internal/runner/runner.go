@@ -18,6 +18,7 @@
 package runner
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -112,7 +113,15 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 // the shard's derived seed. The first error (by item order) aborts
 // dispatch of not-yet-started shards and is returned after running
 // shards finish; results of successful shards are still populated.
-func Map[I, O any](cfg Config, items []I, key func(i int, item I) string, fn func(s Shard, item I) (O, error)) ([]O, *Summary, error) {
+//
+// ctx (nil is treated as context.Background) cancels dispatch: shards
+// not yet started stay unrun, running shards finish, and Map returns
+// ctx.Err(). OnSummary fires either way, so a cancelled sweep still
+// emits a partial summary covering the shards that completed.
+func Map[I, O any](ctx context.Context, cfg Config, items []I, key func(i int, item I) string, fn func(s Shard, item I) (O, error)) ([]O, *Summary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -163,6 +172,8 @@ dispatch:
 		case jobs <- i:
 		case <-stop:
 			break dispatch
+		case <-ctx.Done():
+			break dispatch
 		}
 	}
 	close(jobs)
@@ -211,6 +222,9 @@ dispatch:
 		if err != nil {
 			return out, sum, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, sum, err
 	}
 	return out, sum, nil
 }

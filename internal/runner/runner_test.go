@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -46,7 +47,7 @@ func sweep(t *testing.T, workers int) []uint64 {
 	for i := range items {
 		items[i] = i
 	}
-	out, _, err := Map(Config{Name: "test", Workers: workers, Seed: 7}, items,
+	out, _, err := Map(nil, Config{Name: "test", Workers: workers, Seed: 7}, items,
 		func(i int, _ int) string { return fmt.Sprintf("shard-%d", i) },
 		func(s Shard, item int) (uint64, error) {
 			rng := rand.New(rand.NewSource(s.Seed))
@@ -73,7 +74,7 @@ func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
 
 func TestMapOrdering(t *testing.T) {
 	items := []string{"a", "b", "c", "d", "e"}
-	out, _, err := Map(Config{Workers: 4}, items,
+	out, _, err := Map(nil, Config{Workers: 4}, items,
 		func(i int, item string) string { return item },
 		func(s Shard, item string) (string, error) {
 			// Later shards finish first.
@@ -92,7 +93,7 @@ func TestMapError(t *testing.T) {
 	boom := errors.New("boom")
 	items := make([]int, 32)
 	ran := make([]bool, len(items))
-	_, sum, err := Map(Config{Workers: 2}, items,
+	_, sum, err := Map(nil, Config{Workers: 2}, items,
 		func(i int, _ int) string { return fmt.Sprintf("s%d", i) },
 		func(s Shard, _ int) (int, error) {
 			ran[s.Index] = true
@@ -124,7 +125,7 @@ func TestMapError(t *testing.T) {
 func TestMapSummary(t *testing.T) {
 	var fromHook *Summary
 	items := []int{10, 20, 30}
-	_, sum, err := Map(Config{Name: "sum-test", Workers: 2, Seed: 9, OnSummary: func(s *Summary) { fromHook = s }},
+	_, sum, err := Map(nil, Config{Name: "sum-test", Workers: 2, Seed: 9, OnSummary: func(s *Summary) { fromHook = s }},
 		items,
 		func(i int, _ int) string { return fmt.Sprintf("cell-%d", i) },
 		func(s Shard, item int) (int, error) {
@@ -177,7 +178,7 @@ func TestMapSummary(t *testing.T) {
 func TestMapWorkerCapping(t *testing.T) {
 	// More workers than items must not break anything; workers reported
 	// in the summary are the effective pool size.
-	_, sum, err := Map(Config{Workers: 64}, []int{1, 2},
+	_, sum, err := Map(nil, Config{Workers: 64}, []int{1, 2},
 		func(i int, _ int) string { return fmt.Sprintf("%d", i) },
 		func(s Shard, item int) (int, error) { return item, nil })
 	if err != nil {
@@ -189,7 +190,7 @@ func TestMapWorkerCapping(t *testing.T) {
 }
 
 func TestMapEmpty(t *testing.T) {
-	out, sum, err := Map(Config{}, nil,
+	out, sum, err := Map(nil, Config{}, nil,
 		func(i int, _ struct{}) string { return "" },
 		func(s Shard, _ struct{}) (int, error) { return 0, nil })
 	if err != nil {
@@ -197,5 +198,56 @@ func TestMapEmpty(t *testing.T) {
 	}
 	if len(out) != 0 || sum.Shards != 0 {
 		t.Errorf("empty sweep: out=%v shards=%d", out, sum.Shards)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	// Cancelling the context mid-sweep stops dispatch: running shards
+	// finish, undispatched ones never start, Map returns ctx.Err(), and
+	// the partial summary still arrives through OnSummary with only the
+	// completed shards.
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	var partial *Summary
+	started := make(chan struct{}, len(items))
+	out, sum, err := Map(ctx, Config{Name: "cancel-test", Workers: 1,
+		OnSummary: func(s *Summary) { partial = s }}, items,
+		func(i int, _ int) string { return fmt.Sprintf("%d", i) },
+		func(s Shard, item int) (int, error) {
+			started <- struct{}{}
+			if s.Index == 2 {
+				cancel()
+			}
+			return item + 1, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	ran := len(started)
+	if ran >= len(items) {
+		t.Fatal("cancellation did not stop dispatch")
+	}
+	if partial == nil || sum == nil {
+		t.Fatal("cancelled sweep emitted no summary")
+	}
+	if len(partial.PerShard) != ran {
+		t.Errorf("partial summary covers %d shards, %d ran", len(partial.PerShard), ran)
+	}
+	for i := 0; i < ran; i++ {
+		if out[i] != items[i]+1 {
+			t.Errorf("completed shard %d result lost: %d", i, out[i])
+		}
+	}
+}
+
+func TestMapNilContext(t *testing.T) {
+	out, _, err := Map(nil, Config{Workers: 2}, []int{5, 6},
+		func(i int, _ int) string { return fmt.Sprintf("%d", i) },
+		func(_ Shard, item int) (int, error) { return item * 2, nil })
+	if err != nil || out[0] != 10 || out[1] != 12 {
+		t.Fatalf("nil ctx sweep: out=%v err=%v", out, err)
 	}
 }

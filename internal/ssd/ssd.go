@@ -178,6 +178,20 @@ type Results struct {
 	// Faults is a snapshot of the injector's activity counters.
 	Faults fault.Stats
 
+	// Crash consistency. Crashes counts power losses; InFlightLost the
+	// user writes cut off mid-flight (never acknowledged, so losing them
+	// honours the ack contract). RecoveryReads / RecoveryRecords /
+	// RecoveryTornPages itemize the recovery work: metadata and OOB
+	// reads performed, journal records replayed, and power-interrupted
+	// pages detected and discarded. RecoveryTime is the cumulative
+	// device unavailability spent recovering.
+	Crashes           int64
+	InFlightLost      int64
+	RecoveryReads     int64
+	RecoveryRecords   int64
+	RecoveryTornPages int64
+	RecoveryTime      time.Duration
+
 	FTL ftl.Stats
 }
 
@@ -193,11 +207,16 @@ type Device struct {
 	ageOffset []float64
 	progTime  []time.Duration
 
-	chanFree []time.Duration // per-channel busy-until time
-	res      Results
-	rng      *rand.Rand
+	chanFree  []time.Duration // per-channel busy-until time
+	res       Results
+	rng       *rand.Rand
 	inj       *fault.Injector // nil when fault injection is disabled
 	faultBase fault.Stats     // injector counters at the last measurement reset
+
+	// crashed is set on power loss and cleared by a successful Restart;
+	// ftlPrior carries the dead FTL's counters across the swap.
+	crashed  bool
+	ftlPrior ftl.Stats
 
 	levelCache map[float64]levelEntry // quantized BER -> required levels
 }
@@ -308,6 +327,7 @@ func (d *Device) ResetMeasurement() {
 	}
 	d.res = Results{ReadSample: stats.NewSample(0)}
 	d.faultBase = d.inj.Stats()
+	d.ftlPrior = ftl.Stats{}
 	d.ftl.ResetStats()
 }
 
@@ -352,6 +372,9 @@ func (d *Device) requiredLevels(lpn uint64, now time.Duration) (int, bool) {
 // Read simulates a one-page read arriving at time now. It returns the
 // response time and the sensing level that finally succeeded.
 func (d *Device) Read(now time.Duration, lpn uint64) (time.Duration, int) {
+	if d.crashed {
+		return 0, 0 // powered off: no service until Restart
+	}
 	required := 0
 	achievable := true
 	block := 0
@@ -436,7 +459,7 @@ func (d *Device) Read(now time.Duration, lpn uint64) (time.Duration, int) {
 
 // opsTime converts FTL operation counts into flash busy time.
 func (d *Device) opsTime(ops ftl.OpCount) time.Duration {
-	t := time.Duration(ops.Programs) * d.cfg.Timing.Program
+	t := time.Duration(ops.Programs+ops.MetaPrograms) * d.cfg.Timing.Program
 	t += time.Duration(ops.CopyReads) * d.cfg.Timing.Read
 	t += time.Duration(ops.Erases) * d.cfg.Timing.Erase
 	return t
@@ -446,9 +469,19 @@ func (d *Device) opsTime(ops ftl.OpCount) time.Duration {
 // given pool. Write-back semantics: the request completes at buffer
 // latency unless the flash backlog exceeds the buffer's capacity.
 func (d *Device) Write(now time.Duration, lpn uint64, state ftl.BlockState) (time.Duration, error) {
+	if d.crashed {
+		return 0, ftl.ErrPowerLoss
+	}
 	ppn, ops, err := d.ftl.Write(lpn, state)
 	if err != nil {
 		switch {
+		case errors.Is(err, ftl.ErrPowerLoss):
+			// Power died before the write was acknowledged: the request
+			// is legitimately lost (in-flight, never acked) and the
+			// device is down until Restart.
+			d.res.InFlightLost++
+			d.Crash()
+			return 0, err
 		case errors.Is(err, ftl.ErrDegraded):
 			// Degraded mode: the write is refused at buffer latency, the
 			// previously stored data stays intact and readable.
@@ -508,8 +541,16 @@ func (d *Device) Write(now time.Duration, lpn uint64, state ftl.BlockState) (tim
 // data conversion): it charges flash busy time but produces no user-
 // visible response-time sample.
 func (d *Device) Migrate(now time.Duration, lpn uint64, state ftl.BlockState) error {
+	if d.crashed {
+		return ftl.ErrPowerLoss
+	}
 	ppn, ops, err := d.ftl.Migrate(lpn, state)
 	if err != nil {
+		if errors.Is(err, ftl.ErrPowerLoss) {
+			// Background rewrite cut off: no user data is lost (a torn
+			// migration keeps the old mapping), but the device is down.
+			d.Crash()
+		}
 		return err
 	}
 	d.ageOffset[ppn] = 0
@@ -522,10 +563,84 @@ func (d *Device) Migrate(now time.Duration, lpn uint64, state ftl.BlockState) er
 	return nil
 }
 
+// Crashed reports whether the device is down after a power loss and
+// waiting for Restart.
+func (d *Device) Crashed() bool { return d.crashed }
+
+// Crash records a sudden power loss: everything volatile — the write
+// buffer, the channel queues, the policy's read-retry memory, the
+// level cache — is gone, and the device refuses service until Restart.
+// The FTL's durable media image (OOB, journal, checkpoint) survives.
+// Called automatically when an injected PowerLoss fault surfaces from
+// the FTL; callable directly to script a crash at an arbitrary point.
+func (d *Device) Crash() {
+	if d.crashed {
+		return
+	}
+	d.crashed = true
+	d.res.Crashes++
+}
+
+// Restart powers the device back on at time now: it reruns crash
+// recovery from the durable media image (checkpoint load, journal
+// replay, full OOB scan), swaps in the recovered FTL with the device's
+// hooks rewired, drops all volatile caches, and charges the recovery
+// work as device-wide busy time — every channel is unavailable until
+// recovery completes. A second power cut during recovery (injected via
+// the fault script) leaves the device crashed; Restart can simply be
+// called again.
+func (d *Device) Restart(now time.Duration) (ftl.RecoveryReport, error) {
+	if !d.crashed {
+		return ftl.RecoveryReport{}, fmt.Errorf("ssd: restart of a running device")
+	}
+	m := d.ftl.Media()
+	if m == nil {
+		return ftl.RecoveryReport{}, fmt.Errorf("ssd: restart without a journaled FTL (enable Config.FTL.Journal)")
+	}
+	var faultFn func(op fault.Op, block, pe int) bool
+	if d.inj != nil {
+		faultFn = d.inj.Fails
+	}
+	prior := d.ftl.Stats()
+	f, rep, err := ftl.Recover(d.cfg.FTL, m, faultFn)
+	if err != nil {
+		return rep, err
+	}
+	d.ftlPrior = d.ftlPrior.Add(prior)
+	d.ftl = f
+	f.OnRelocate = func(lpn uint64, oldPPN, newPPN int64) {
+		d.ageOffset[newPPN] = 0
+		d.progTime[newPPN] = d.Now()
+	}
+	if forgetter, ok := d.policy.(interface{ Forget(int) }); ok {
+		f.OnErase = forgetter.Forget
+	}
+	// Controller RAM did not survive: the level cache and the policy's
+	// per-block sensing memory start cold.
+	d.levelCache = make(map[float64]levelEntry)
+	if r, ok := d.policy.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+	// Recovery serializes the whole device: reads dominate (checkpoint
+	// pages, journal frames, the OOB scan), plus the fresh checkpoint's
+	// programs. Whatever was queued on the channels died with the power.
+	rt := time.Duration(rep.TotalReads())*d.cfg.Timing.Read +
+		time.Duration(rep.CheckpointWritePages)*d.cfg.Timing.Program
+	for i := range d.chanFree {
+		d.chanFree[i] = now + rt
+	}
+	d.res.RecoveryReads += int64(rep.TotalReads())
+	d.res.RecoveryRecords += int64(rep.RecordsReplayed)
+	d.res.RecoveryTornPages += int64(rep.TornPages)
+	d.res.RecoveryTime += rt
+	d.crashed = false
+	return rep, nil
+}
+
 // Results returns a snapshot of the accumulated metrics.
 func (d *Device) Results() Results {
 	r := d.res
-	r.FTL = d.ftl.Stats()
+	r.FTL = d.ftlPrior.Add(d.ftl.Stats())
 	r.Faults = d.inj.Stats().Sub(d.faultBase)
 	return r
 }
