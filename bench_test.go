@@ -6,6 +6,7 @@
 package flexlevel_test
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -33,6 +34,7 @@ func benchSim() exp.SimConfig {
 // BenchmarkFig5C2CBER regenerates Fig. 5: interference BER of the
 // baseline MLC cell vs the three NUNMA reduced-state configurations.
 func BenchmarkFig5C2CBER(b *testing.B) {
+	b.ReportAllocs()
 	var rows []exp.Fig5Row
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -49,6 +51,7 @@ func BenchmarkFig5C2CBER(b *testing.B) {
 // BenchmarkTable4RetentionBER regenerates Table 4: the retention BER
 // grid over P/E cycles and storage time for all four schemes.
 func BenchmarkTable4RetentionBER(b *testing.B) {
+	b.ReportAllocs()
 	var cells []exp.Table4Cell
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -82,6 +85,7 @@ func BenchmarkTable5SensingLevels(b *testing.B) {
 // BenchmarkFig6aResponseTime regenerates Fig. 6(a): the seven workloads
 // under all four systems, reporting the paper's two headline reductions.
 func BenchmarkFig6aResponseTime(b *testing.B) {
+	b.ReportAllocs()
 	var data *exp.Fig6aData
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -385,6 +389,20 @@ func BenchmarkBERModelTotal(b *testing.B) {
 	}
 }
 
+// BenchmarkNoiseRetentionBER measures the uncached retention component
+// alone — the Erfc loop the BER surface memoizes away on the read path.
+func BenchmarkNoiseRetentionBER(b *testing.B) {
+	m, err := noise.NewBERModel(nunma.BaselineMLC(), noise.MLCGray())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.RetentionBER(5000, 168)
+	}
+}
+
 // BenchmarkRequiredLevels measures the UBER rule (Eq. 1 bisection).
 func BenchmarkRequiredLevels(b *testing.B) {
 	rule := sensing.DefaultRule()
@@ -418,8 +436,9 @@ func BenchmarkFTLWrite(b *testing.B) {
 	}
 }
 
-// BenchmarkSSDRead measures one simulated read end to end.
-func BenchmarkSSDRead(b *testing.B) {
+// benchDevice builds the small read-bench device around berOf.
+func benchDevice(b *testing.B, berOf ssd.BERFunc) *ssd.Device {
+	b.Helper()
 	cfg := ssd.DefaultConfig()
 	cfg.FTL = ftl.Config{
 		LogicalPages:  4096,
@@ -429,18 +448,57 @@ func BenchmarkSSDRead(b *testing.B) {
 		GCThreshold:   3,
 		GCTarget:      4,
 	}
-	d, err := ssd.New(cfg,
-		func(state ftl.BlockState, pe int, ageHours float64) float64 { return 5e-3 },
-		baseline.NewLDPCInSSD())
+	d, err := ssd.New(cfg, berOf, baseline.NewLDPCInSSD())
 	if err != nil {
 		b.Fatal(err)
 	}
 	if err := d.Preload(4096); err != nil {
 		b.Fatal(err)
 	}
+	return d
+}
+
+// BenchmarkSSDRead measures one simulated read end to end with a warm
+// level cache (the steady-state path).
+func BenchmarkSSDRead(b *testing.B) {
+	d := benchDevice(b, func(state ftl.BlockState, pe int, ageHours float64) float64 { return 5e-3 })
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Read(time.Duration(i)*time.Millisecond, uint64(i%4096))
+	}
+}
+
+// BenchmarkSSDReadCold forces a level-cache miss on every read: each
+// call sees a BER that quantizes to a fresh berKey (steps of 1e-4 in
+// log space, 10x the 1e-5 quantum), so the full UBER bisection runs
+// every time. The warm/cold pair brackets what the caches buy.
+func BenchmarkSSDReadCold(b *testing.B) {
+	calls := 0
+	d := benchDevice(b, func(state ftl.BlockState, pe int, ageHours float64) float64 {
+		calls++
+		return 5e-3 * math.Exp(float64(calls)*1e-4)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Read(time.Duration(i)*time.Millisecond, uint64(i%4096))
+	}
+}
+
+// BenchmarkJournalFrameEncode measures flushing one full journal frame
+// (DefaultFlushRecords mapping records) into a reused log buffer — the
+// write-path metadata cost per flush.
+func BenchmarkJournalFrameEncode(b *testing.B) {
+	recs := make([]ftl.Record, ftl.DefaultFlushRecords)
+	for i := range recs {
+		recs[i] = ftl.Record{Type: 1, Seq: uint64(i), LPN: uint64(i), PPN: int64(i * 3), State: ftl.NormalState}
+	}
+	buf := ftl.AppendFrame(nil, recs) // size the buffer once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ftl.AppendFrame(buf[:0], recs)
 	}
 }
 

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func mkReport(benches ...Benchmark) *Report {
+	return &Report{Benchmarks: benches}
+}
+
+func findRow(t *testing.T, rows []DiffRow, key string) DiffRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Key == key {
+			return r
+		}
+	}
+	t.Fatalf("row %q not found in %+v", key, rows)
+	return DiffRow{}
+}
+
+func TestDiffGatesNsPerOp(t *testing.T) {
+	old := mkReport(Benchmark{Name: "BenchmarkA", Package: "p", NsPerOp: 100})
+	cur := mkReport(Benchmark{Name: "BenchmarkA", Package: "p", NsPerOp: 120})
+	rows := diffReports(old, cur, 0.15, nil)
+	if r := findRow(t, rows, "p BenchmarkA"); !r.Regressed {
+		t.Errorf("+20%% ns/op at 15%% tolerance should fail: %+v", r)
+	}
+	rows = diffReports(old, cur, 0.25, nil)
+	if r := findRow(t, rows, "p BenchmarkA"); r.Regressed {
+		t.Errorf("+20%% ns/op at 25%% tolerance should pass: %+v", r)
+	}
+}
+
+func TestDiffImprovementPasses(t *testing.T) {
+	old := mkReport(Benchmark{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 40})
+	cur := mkReport(Benchmark{Name: "BenchmarkA", NsPerOp: 50, AllocsPerOp: 2})
+	for _, r := range diffReports(old, cur, 0.15, nil) {
+		if r.Regressed {
+			t.Errorf("improvement flagged as regression: %+v", r)
+		}
+	}
+}
+
+func TestDiffGatesAllocs(t *testing.T) {
+	old := mkReport(Benchmark{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 10})
+	cur := mkReport(Benchmark{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 20})
+	if r := findRow(t, diffReports(old, cur, 0.15, nil), " BenchmarkA"); !r.Regressed {
+		t.Errorf("doubled allocs should fail: %+v", r)
+	}
+	// Zero-alloc baseline: one stray alloc sits inside the absolute
+	// slack, not an infinite relative regression.
+	old = mkReport(Benchmark{Name: "BenchmarkZ", NsPerOp: 100, AllocsPerOp: 0})
+	cur = mkReport(Benchmark{Name: "BenchmarkZ", NsPerOp: 100, AllocsPerOp: 0.4})
+	if r := findRow(t, diffReports(old, cur, 0.15, nil), " BenchmarkZ"); r.Regressed {
+		t.Errorf("sub-slack alloc jitter should pass: %+v", r)
+	}
+}
+
+func TestDiffMissingAndNew(t *testing.T) {
+	old := mkReport(Benchmark{Name: "BenchmarkGone", NsPerOp: 1})
+	cur := mkReport(Benchmark{Name: "BenchmarkFresh", NsPerOp: 1})
+	rows := diffReports(old, cur, 0.15, nil)
+	if r := findRow(t, rows, " BenchmarkGone"); !r.OnlyInOld || r.Regressed {
+		t.Errorf("gone bench: %+v", r)
+	}
+	if r := findRow(t, rows, " BenchmarkFresh"); !r.OnlyInNew || r.Regressed {
+		t.Errorf("fresh bench: %+v", r)
+	}
+	var sb strings.Builder
+	if n := printDiff(&sb, rows, 0.15); n != 0 {
+		t.Errorf("missing/new rows should not count as regressions, got %d\n%s", n, sb.String())
+	}
+}
+
+func TestDiffBenchFilter(t *testing.T) {
+	old := mkReport(
+		Benchmark{Name: "BenchmarkHot", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkCold", NsPerOp: 100},
+	)
+	cur := mkReport(
+		Benchmark{Name: "BenchmarkHot", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkCold", NsPerOp: 1000},
+	)
+	rows := diffReports(old, cur, 0.15, regexp.MustCompile("Hot"))
+	if len(rows) != 1 || rows[0].Key != " BenchmarkHot" || rows[0].Regressed {
+		t.Errorf("filter should gate only BenchmarkHot: %+v", rows)
+	}
+}

@@ -8,6 +8,16 @@
 // Standard metrics (ns/op, B/op, allocs/op, MB/s) get their own fields;
 // anything else — such as the custom %reduction metrics the figure
 // benches report — lands in the metrics map keyed by its unit.
+//
+// Diff mode compares two such documents and fails on regressions — the
+// CI benchmark-regression gate:
+//
+//	benchjson -diff BENCH_old.json BENCH_new.json -tol 0.15 [-bench regex]
+//
+// Benchmarks are matched by (package, name); ns/op and allocs/op are
+// gated at the tolerance (default 15%). Exit status 1 means at least
+// one regression; benchmarks present on only one side are reported but
+// never fail the gate.
 package main
 
 import (
@@ -43,6 +53,9 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-diff" {
+		os.Exit(diffMain(os.Args[2:]))
+	}
 	report := Report{Date: time.Now().UTC().Format(time.RFC3339)}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)

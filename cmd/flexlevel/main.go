@@ -10,13 +10,17 @@
 //	flexlevel ablations [-n N]   design-choice ablation studies
 //	flexlevel ecc                hard-decision BCH vs soft LDPC capability
 //	flexlevel retshare           retention-error share by Vth level (§4.2)
-//	flexlevel replay -trace f    replay a CSV or MSR trace file
+//	flexlevel replay -in f       replay a CSV or MSR trace file
 //	flexlevel reliability [-faults m]  fault-injection sweep: bad blocks, degradation
 //	flexlevel crash [-crashes k] power-loss sweep: journal replay, recovery audit
 //	flexlevel all   [-n N]       everything above in order
 //
 // SIGINT cancels a running sweep cleanly: shards not yet started stay
 // unrun and the partial engine summary is still written (with -csv).
+//
+// Profiling: -cpuprofile, -memprofile and -trace write a CPU profile, a
+// heap profile and a runtime execution trace for any subcommand
+// (inspect with go tool pprof / go tool trace).
 package main
 
 import (
@@ -34,7 +38,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|crash|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-crashes k] [-trace file -format csv|msr]")
+	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|crash|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-crashes k] [-in file -format csv|msr] [-cpuprofile f] [-memprofile f] [-trace f]")
 	os.Exit(2)
 }
 
@@ -50,9 +54,12 @@ func main() {
 	parallel := fs.Int("parallel", 0, "experiment engine workers (0 = all cores); results are byte-identical for any value")
 	faults := fs.Float64("faults", 1, "fault-rate multiplier for the reliability sweep (0 disables injection)")
 	crashes := fs.Int("crashes", 24, "crash points for the crash subcommand")
-	traceFile := fs.String("trace", "", "trace file for the replay subcommand")
+	inFile := fs.String("in", "", "trace file for the replay subcommand")
 	format := fs.String("format", "csv", "trace file format: csv (tracegen) or msr (MSR-Cambridge)")
 	csvDir := fs.String("csv", "", "also write plotting-friendly CSV artifacts into this directory")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	traceOut := fs.String("trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
@@ -205,7 +212,7 @@ func main() {
 			}
 			exp.PrintRetentionShares(os.Stdout, rows, avg)
 		case "replay":
-			return replay(*traceFile, *format, *pe)
+			return replay(*inFile, *format, *pe)
 		case "reliability":
 			scales := []float64{0}
 			if m := *faults; m > 0 {
@@ -241,7 +248,21 @@ func main() {
 	if cmd == "all" {
 		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare", "reliability", "crash"}
 	} else {
+		switch cmd {
+		case "fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations",
+			"ecc", "retshare", "replay", "reliability", "crash":
+		default:
+			usage() // before any profile file is created
+		}
 		names = []string{cmd}
+	}
+	// Profiling brackets the experiment work itself; usage errors above
+	// exit before any profile file is created. os.Exit skips defers, so
+	// every exit path below stops the profiler explicitly.
+	prof, err := startProfiles(*cpuProfile, *memProfile, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexlevel:", err)
+		os.Exit(1)
 	}
 	for i, name := range names {
 		if i > 0 {
@@ -249,16 +270,18 @@ func main() {
 		}
 		if err := run(name); err != nil {
 			fmt.Fprintln(os.Stderr, "flexlevel:", err)
+			prof.stop()
 			os.Exit(1)
 		}
 	}
+	prof.stop()
 }
 
 // replay runs a trace file through all four systems and prints the
 // Fig. 6(a)-style comparison.
 func replay(path, format string, pe int) error {
 	if path == "" {
-		return fmt.Errorf("replay needs -trace <file>")
+		return fmt.Errorf("replay needs -in <file>")
 	}
 	f, err := os.Open(path)
 	if err != nil {

@@ -1,0 +1,87 @@
+package main
+
+// First-class profiling hooks (DESIGN.md §11): -cpuprofile, -memprofile
+// and -trace wrap any subcommand, so the paper sweeps can be profiled
+// exactly as they run in CI or on the command line — no special bench
+// binary required.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// profiler owns the output files of the profiling flags. stop is
+// idempotent and must run before every process exit (os.Exit skips
+// defers), or the CPU profile and execution trace are truncated and the
+// heap profile never written.
+type profiler struct {
+	cpuFile   *os.File
+	traceFile *os.File
+	memPath   string
+}
+
+// startProfiles begins CPU profiling and execution tracing as requested;
+// the heap profile is deferred to stop so it captures the live heap at
+// the end of the run. Empty paths disable the corresponding output.
+func startProfiles(cpuPath, memPath, tracePath string) (*profiler, error) {
+	p := &profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			p.stop()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			p.stop()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		p.traceFile = f
+	}
+	return p, nil
+}
+
+// stop flushes and closes every active profile output.
+func (p *profiler) stop() {
+	if p == nil {
+		return
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+	if p.traceFile != nil {
+		trace.Stop()
+		p.traceFile.Close()
+		p.traceFile = nil
+	}
+	if p.memPath != "" {
+		path := p.memPath
+		p.memPath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexlevel: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "flexlevel: memprofile:", err)
+		}
+	}
+}

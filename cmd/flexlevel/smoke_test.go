@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// checkGzip asserts path exists, is non-empty, and starts with the gzip
+// magic — the container format of pprof CPU and heap profiles.
+func checkGzip(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("profile %s: %v", path, err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("profile %s: not a gzip stream (pprof format), got % x", path, data[:min(len(data), 4)])
+	}
+	return data
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestProfilerOutputs drives the profiler helpers directly: start, do a
+// little work, stop, and check all three artifacts are structurally
+// valid.
+func TestProfilerOutputs(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	trc := filepath.Join(dir, "trace.out")
+	prof, err := startProfiles(cpu, mem, trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some allocation and CPU work so the profiles have content.
+	var sink []byte
+	for i := 0; i < 1000; i++ {
+		sink = append(sink, make([]byte, 1024)...)
+	}
+	_ = sink
+	prof.stop()
+	prof.stop() // idempotent
+
+	checkGzip(t, cpu)
+	checkGzip(t, mem)
+	data, err := os.ReadFile(trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("go 1.")) {
+		t.Fatalf("trace: missing runtime trace header, got % x", data[:min(len(data), 8)])
+	}
+}
+
+// TestProfilingFlagsSmoke is the end-to-end smoke: build the real
+// binary, run a fast subcommand under all three profiling flags, and
+// verify go tool pprof itself opens the CPU profile.
+func TestProfilingFlagsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary smoke in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "flexlevel")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	trc := filepath.Join(dir, "trace.out")
+	cmd := exec.Command(bin, "fig5", "-cpuprofile", cpu, "-memprofile", mem, "-trace", trc)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("flexlevel fig5: %v\n%s", err, out)
+	}
+	checkGzip(t, cpu)
+	checkGzip(t, mem)
+	data, err := os.ReadFile(trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("go 1.")) {
+		t.Fatalf("trace: missing runtime trace header")
+	}
+
+	pprofCmd := exec.Command("go", "tool", "pprof", "-raw", cpu)
+	if out, err := pprofCmd.CombinedOutput(); err != nil {
+		t.Fatalf("go tool pprof -raw: %v\n%s", err, out)
+	}
+}

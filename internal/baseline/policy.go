@@ -21,6 +21,16 @@ type ReadPolicy interface {
 	Name() string
 }
 
+// AttemptAppender is the zero-allocation variant of ReadPolicy: the
+// caller supplies the destination slice (usually a reused scratch
+// buffer) and the policy appends its attempt sequence to it. Semantics —
+// including any per-block memory updates — are identical to Attempts.
+// All policies in this package implement it; the ssd read path uses it
+// when available so steady-state reads allocate nothing.
+type AttemptAppender interface {
+	AppendAttempts(dst []int, block int, required int) []int
+}
+
 // FixedWorstCase always senses at a fixed conservative level, escalating
 // only when even that is insufficient.
 type FixedWorstCase struct {
@@ -32,14 +42,18 @@ func (FixedWorstCase) Name() string { return "baseline" }
 
 // Attempts implements ReadPolicy.
 func (p FixedWorstCase) Attempts(_ int, required int) []int {
+	return p.AppendAttempts(nil, 0, required)
+}
+
+// AppendAttempts implements AttemptAppender.
+func (p FixedWorstCase) AppendAttempts(dst []int, _ int, required int) []int {
 	if required <= p.Levels {
-		return []int{p.Levels}
+		return append(dst, p.Levels)
 	}
-	out := make([]int, 0, required-p.Levels+1)
 	for l := p.Levels; l <= required; l++ {
-		out = append(out, l)
+		dst = append(dst, l)
 	}
-	return out
+	return dst
 }
 
 // LDPCInSSD is the progressive read-retry with per-block level memory.
@@ -60,16 +74,21 @@ func (*LDPCInSSD) Name() string { return "ldpc-in-ssd" }
 // Memory only rises — a block's BER only grows with wear and retention
 // within an erase cycle.
 func (p *LDPCInSSD) Attempts(block int, required int) []int {
+	return p.AppendAttempts(nil, block, required)
+}
+
+// AppendAttempts implements AttemptAppender (same escalation and
+// memorization as Attempts).
+func (p *LDPCInSSD) AppendAttempts(dst []int, block int, required int) []int {
 	start := p.mem[block]
 	if start >= required {
-		return []int{start}
+		return append(dst, start)
 	}
-	out := make([]int, 0, required-start+1)
 	for l := start; l <= required; l++ {
-		out = append(out, l)
+		dst = append(dst, l)
 	}
 	p.mem[block] = required
-	return out
+	return dst
 }
 
 // Forget clears a block's memory (called on erase: a fresh block starts
@@ -92,3 +111,8 @@ func (Oracle) Name() string { return "oracle" }
 
 // Attempts implements ReadPolicy.
 func (Oracle) Attempts(_ int, required int) []int { return []int{required} }
+
+// AppendAttempts implements AttemptAppender.
+func (Oracle) AppendAttempts(dst []int, _ int, required int) []int {
+	return append(dst, required)
+}

@@ -20,9 +20,6 @@ import (
 	"flexlevel/internal/accesseval"
 	"flexlevel/internal/baseline"
 	"flexlevel/internal/ftl"
-	"flexlevel/internal/noise"
-	"flexlevel/internal/nunma"
-	"flexlevel/internal/reducecode"
 	"flexlevel/internal/ssd"
 	"flexlevel/internal/trace"
 )
@@ -144,42 +141,11 @@ type Metrics struct {
 	RecoveryReads   int64
 	RecoveryRecords int64
 	RecoveryTime    float64 // seconds of recovery unavailability
-}
 
-// berModels builds the closed-form BER functions for the two states.
-func berModels(nunmaName string) (ssd.BERFunc, error) {
-	normalModel, err := noise.NewBERModel(nunma.BaselineMLC(), noise.MLCGray())
-	if err != nil {
-		return nil, err
-	}
-	cfg, err := nunma.ByName(nunmaName)
-	if err != nil {
-		return nil, err
-	}
-	reducedModel, err := noise.NewBERModel(cfg.Spec(), reducecode.Encoding())
-	if err != nil {
-		return nil, err
-	}
-	// BER evaluation involves erfc and pow; cache on quantized age.
-	type key struct {
-		state ftl.BlockState
-		pe    int
-		ageH  int
-	}
-	cache := make(map[key]float64)
-	return func(state ftl.BlockState, pe int, ageHours float64) float64 {
-		k := key{state, pe, int(ageHours)}
-		if v, ok := cache[k]; ok {
-			return v
-		}
-		m := normalModel
-		if state == ftl.ReducedState {
-			m = reducedModel
-		}
-		v := m.TotalBER(pe, float64(k.ageH))
-		cache[k] = v
-		return v
-	}, nil
+	// Hot-path cache activity over the measured window: the device's
+	// level cache and the BER surface behind its BERFunc.
+	LevelCache ssd.CacheStats
+	BERCache   ssd.CacheStats
 }
 
 // Runner executes workloads against one configured system.
@@ -198,10 +164,11 @@ func NewRunner(opts Options) (*Runner, error) {
 	if opts.NUNMAConfig == "" {
 		opts.NUNMAConfig = "NUNMA 3"
 	}
-	berOf, err := berModels(opts.NUNMAConfig)
+	surface, err := newBERSurface(opts.NUNMAConfig)
 	if err != nil {
 		return nil, err
 	}
+	berOf := ssd.BERFunc(surface.BER)
 	opts.SSD.FTL.InitialPE = opts.PE
 
 	var policy baseline.ReadPolicy
@@ -222,6 +189,7 @@ func NewRunner(opts Options) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	device.SetBERCacheStats(surface.Stats)
 	r := &Runner{opts: opts, device: device, berOf: berOf}
 	if opts.System == FlexLevel {
 		p := opts.AccessEval
@@ -426,6 +394,8 @@ func (r *Runner) metrics(workload string) Metrics {
 	m.RecoveryReads = res.RecoveryReads
 	m.RecoveryRecords = res.RecoveryRecords
 	m.RecoveryTime = res.RecoveryTime.Seconds()
+	m.LevelCache = res.LevelCache
+	m.BERCache = res.BERCache
 	if r.ctrl != nil {
 		m.Migrations = r.ctrl.Migrations()
 		m.Evictions = r.ctrl.Evictions()

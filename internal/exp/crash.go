@@ -143,7 +143,7 @@ func CrashRecovery(cfg SimConfig, points int) (*CrashData, error) {
 	rows, _, err := runner.Map(cfg.Ctx, cfg.engine("crash-recovery"), crashPoints,
 		func(_ int, p int64) string { return fmt.Sprintf("crash=%d", p) },
 		func(s runner.Shard, p int64) (CrashRow, error) {
-			row, err := runCrashPoint(opts, reqs, w.WorkingSet, p)
+			row, err := runCrashPoint(s, opts, reqs, w.WorkingSet, p)
 			s.AddOps(int64(len(reqs)))
 			return row, err
 		})
@@ -182,7 +182,7 @@ func CrashRecovery(cfg SimConfig, points int) (*CrashData, error) {
 
 // runCrashPoint is one shard: replay until the scripted cut, restart,
 // audit the recovered state, finish the trace.
-func runCrashPoint(opts core.Options, reqs []trace.Request, workingSet uint64, point int64) (CrashRow, error) {
+func runCrashPoint(s runner.Shard, opts core.Options, reqs []trace.Request, workingSet uint64, point int64) (CrashRow, error) {
 	row := CrashRow{CrashPoint: point}
 	opts.SSD.Faults = fault.Config{
 		Script: []fault.ScriptEvent{{Op: fault.PowerLoss, Index: point}},
@@ -220,6 +220,7 @@ func runCrashPoint(opts core.Options, reqs []trace.Request, workingSet uint64, p
 	res := r.Device().Results()
 	row.InFlightLost = res.InFlightLost
 	row.RecoveryTimeSec = res.RecoveryTime.Seconds()
+	addCacheCounters(s, res.LevelCache, res.BERCache)
 	return row, nil
 }
 

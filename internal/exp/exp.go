@@ -19,9 +19,23 @@ import (
 	"flexlevel/internal/nunma"
 	"flexlevel/internal/reducecode"
 	"flexlevel/internal/runner"
+	"flexlevel/internal/ssd"
 	"flexlevel/internal/stats"
 	"flexlevel/internal/trace"
 )
+
+// addCacheCounters records a run's hot-path cache activity (the device
+// level cache and the BER surface) as engine counters, so every
+// simulation sweep's <name>_summary.json reports aggregate hit/miss/
+// reset totals alongside its timing.
+func addCacheCounters(s runner.Shard, level, ber ssd.CacheStats) {
+	s.AddCounter("level_cache_hits", level.Hits)
+	s.AddCounter("level_cache_misses", level.Misses)
+	s.AddCounter("level_cache_resets", level.Resets)
+	s.AddCounter("ber_cache_hits", ber.Hits)
+	s.AddCounter("ber_cache_misses", ber.Misses)
+	s.AddCounter("ber_cache_resets", ber.Resets)
+}
 
 // PEPoints are the P/E cycle counts of the paper's grids.
 var PEPoints = []int{2000, 3000, 4000, 5000, 6000}
@@ -126,13 +140,15 @@ type Table4Cell struct {
 // Table4 computes the retention BER grid: baseline plus NUNMA 1-3 at
 // each P/E point and storage time, one engine shard per P/E point.
 func Table4(cfg SimConfig) ([]Table4Cell, error) {
+	// The models are stateless and identical for every P/E shard; build
+	// them once instead of once per grid point.
+	base, nunmas, names, err := deviceModels()
+	if err != nil {
+		return nil, err
+	}
 	perPE, _, err := runner.Map(cfg.Ctx, cfg.engine("table4"), PEPoints,
 		func(_ int, pe int) string { return fmt.Sprintf("pe=%d", pe) },
 		func(s runner.Shard, pe int) ([]Table4Cell, error) {
-			base, nunmas, names, err := deviceModels()
-			if err != nil {
-				return nil, err
-			}
 			rows := []Table4Cell{{PE: pe, Scheme: "Baseline"}}
 			for ti, t := range RetentionTimes {
 				rows[0].BER[ti] = base.RetentionBER(pe, t.Hours)
@@ -339,6 +355,7 @@ func Fig6a(cfg SimConfig) (*Fig6aData, error) {
 				return RunResult{}, fmt.Errorf("exp: %s under %v: %w", c.Workload, c.System, err)
 			}
 			s.AddOps(int64(cfg.Requests))
+			addCacheCounters(s, m.LevelCache, m.BERCache)
 			return RunResult{m}, nil
 		})
 	if err != nil {

@@ -109,6 +109,7 @@ func Reliability(cfg SimConfig, scales []float64) ([]ReliabilityRow, error) {
 				return ReliabilityRow{}, fmt.Errorf("exp: reliability %.1fx under %v: %w", c.Scale, c.System, err)
 			}
 			s.AddOps(int64(cfg.Requests))
+			addCacheCounters(s, m.LevelCache, m.BERCache)
 			row := ReliabilityRow{Scale: c.Scale, System: c.System, Metrics: m}
 			if m.Reads > 0 {
 				row.EffectiveUBER = float64(m.DataLoss) / (float64(m.Reads) * pageBits)

@@ -33,13 +33,15 @@ func RetentionShares(cfg SimConfig) ([]RetentionShare, []float64, error) {
 			cells = append(cells, gridCell{PE: pe, Hours: t.Hours})
 		}
 	}
+	// One stateless model serves every grid cell; constructing it per
+	// shard only re-validated the same spec/encoding 20 times.
+	m, err := noise.NewBERModel(nunma.BasicLevelAdjust(), reducecode.Encoding())
+	if err != nil {
+		return nil, nil, err
+	}
 	rows, _, err := runner.Map(cfg.Ctx, cfg.engine("retshare"), cells,
 		func(_ int, c gridCell) string { return fmt.Sprintf("pe=%d/hours=%g", c.PE, c.Hours) },
 		func(_ runner.Shard, c gridCell) (RetentionShare, error) {
-			m, err := noise.NewBERModel(nunma.BasicLevelAdjust(), reducecode.Encoding())
-			if err != nil {
-				return RetentionShare{}, err
-			}
 			return RetentionShare{PE: c.PE, Hours: c.Hours, Shares: m.RetentionLevelShare(c.PE, c.Hours)}, nil
 		})
 	if err != nil {

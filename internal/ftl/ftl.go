@@ -606,7 +606,7 @@ func (f *FTL) journalFlush(ops *OpCount) error {
 		f.pending = nil
 		return ErrPowerLoss
 	}
-	f.media.journal = appendFrame(f.media.journal, f.pending)
+	f.media.journal = AppendFrame(f.media.journal, f.pending)
 	f.pending = f.pending[:0]
 	f.stats.JournalFlushes++
 	f.stats.MetaPrograms++

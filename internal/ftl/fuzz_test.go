@@ -46,7 +46,7 @@ func FuzzJournalReplay(f *testing.F) {
 	journal := ftl.Media().JournalBytes()
 	checkpoint := ftl.Media().CheckpointBytes()
 	f.Add(journal, checkpoint)
-	f.Add(appendFrame(nil, sampleRecords()), []byte{})
+	f.Add(AppendFrame(nil, sampleRecords()), []byte{})
 	if len(journal) > 4 {
 		flip := append([]byte(nil), journal...)
 		flip[len(flip)/2] ^= 0x40

@@ -196,17 +196,21 @@ func parseRecord(data []byte) (Record, int, error) {
 	return r, n, nil
 }
 
-// appendFrame encodes records as one journal frame (magic, payload
+// AppendFrame encodes records as one journal frame (magic, payload
 // length, payload, CRC32-C of everything before the CRC) onto log.
-func appendFrame(log []byte, recs []Record) []byte {
-	var payload []byte
-	for _, r := range recs {
-		payload = appendRecord(payload, r)
-	}
+// Records are encoded directly into log — the header is reserved up
+// front and its length field patched afterwards — so a flush performs
+// no intermediate payload allocation and at most one log growth. The
+// byte stream is identical to encoding the payload separately.
+func AppendFrame(log []byte, recs []Record) []byte {
 	start := len(log)
 	log = binary.LittleEndian.AppendUint32(log, journalMagic)
-	log = binary.LittleEndian.AppendUint32(log, uint32(len(payload)))
-	log = append(log, payload...)
+	log = binary.LittleEndian.AppendUint32(log, 0) // payload length, patched below
+	for _, r := range recs {
+		log = appendRecord(log, r)
+	}
+	payload := len(log) - start - 8
+	binary.LittleEndian.PutUint32(log[start+4:], uint32(payload))
 	log = binary.LittleEndian.AppendUint32(log, crc32.Checksum(log[start:], crcTable))
 	return log
 }

@@ -20,8 +20,8 @@ func sampleRecords() []Record {
 
 func TestJournalRoundTrip(t *testing.T) {
 	want := sampleRecords()
-	log := appendFrame(nil, want[:3])
-	log = appendFrame(log, want[3:])
+	log := AppendFrame(nil, want[:3])
+	log = AppendFrame(log, want[3:])
 	got, torn, err := DecodeJournal(log)
 	if err != nil || torn {
 		t.Fatalf("decode: torn=%v err=%v", torn, err)
@@ -37,7 +37,7 @@ func TestJournalRoundTrip(t *testing.T) {
 }
 
 func TestJournalTornTail(t *testing.T) {
-	full := appendFrame(nil, sampleRecords())
+	full := AppendFrame(nil, sampleRecords())
 	for cut := 1; cut < len(full); cut++ {
 		recs, torn, err := DecodeJournal(full[:cut])
 		if err != nil {
@@ -51,14 +51,14 @@ func TestJournalTornTail(t *testing.T) {
 		}
 	}
 	// A good frame followed by a torn one keeps the good frame's records.
-	log := appendFrame(nil, sampleRecords()[:2])
-	log = append(log, appendFrame(nil, sampleRecords()[2:])[:5]...)
+	log := AppendFrame(nil, sampleRecords()[:2])
+	log = append(log, AppendFrame(nil, sampleRecords()[2:])[:5]...)
 	recs, torn, err := DecodeJournal(log)
 	if err != nil || !torn || len(recs) != 2 {
 		t.Fatalf("good+torn: recs=%d torn=%v err=%v", len(recs), torn, err)
 	}
 	// Trailing garbage (the torn-flush marker) is a torn tail too.
-	recs, torn, err = DecodeJournal(append(appendFrame(nil, sampleRecords()), 0x46))
+	recs, torn, err = DecodeJournal(append(AppendFrame(nil, sampleRecords()), 0x46))
 	if err != nil || !torn || len(recs) != len(sampleRecords()) {
 		t.Fatalf("good+garbage: recs=%d torn=%v err=%v", len(recs), torn, err)
 	}

@@ -25,6 +25,8 @@ import (
 	"hash/fnv"
 	"io"
 	"runtime"
+	"runtime/metrics"
+	"sort"
 	"sync"
 	"time"
 
@@ -48,15 +50,48 @@ type Config struct {
 // identity and its derived seed. The seed depends only on the master
 // seed and the shard key, never on scheduling.
 type Shard struct {
-	Index int
-	Key   string
-	Seed  int64
-	ops   *int64
+	Index    int
+	Key      string
+	Seed     int64
+	ops      *int64
+	counters *map[string]int64
 }
 
 // AddOps records n simulated operations (requests, cells, trials) for
 // the throughput metrics of the sweep Summary.
 func (s Shard) AddOps(n int64) { *s.ops += n }
+
+// AddCounter accumulates a named sweep-level counter (e.g. cache hits).
+// Counters from all shards are summed into Summary.Counters; since each
+// shard only touches its own map, the aggregate is deterministic.
+func (s Shard) AddCounter(name string, n int64) {
+	if s.counters == nil {
+		return
+	}
+	if *s.counters == nil {
+		*s.counters = make(map[string]int64, 8)
+	}
+	(*s.counters)[name] += n
+}
+
+// allocCounts samples the runtime's cumulative heap allocation metrics.
+// Unlike runtime.ReadMemStats — which stops the world and dominated the
+// engine's overhead on sub-millisecond sweeps — runtime/metrics reads
+// are cheap enough to bracket every Map call.
+func allocCounts() (bytes, objects uint64) {
+	s := []metrics.Sample{
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/heap/allocs:objects"},
+	}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		bytes = s[0].Value.Uint64()
+	}
+	if s[1].Value.Kind() == metrics.KindUint64 {
+		objects = s[1].Value.Uint64()
+	}
+	return bytes, objects
+}
 
 // DeriveSeed hashes the master seed and a shard key into a shard seed
 // (FNV-1a 64). The function is pure, so a shard's randomness is
@@ -98,6 +133,11 @@ type Summary struct {
 	ShardMaxSec    float64       `json:"shard_seconds_max"`
 	ShardStddevSec float64       `json:"shard_seconds_stddev"`
 	PerShard       []ShardMetric `json:"per_shard"`
+
+	// Counters aggregates the named Shard.AddCounter totals across all
+	// shards (cache hit/miss observability and the like). Omitted when no
+	// shard recorded any.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // WriteJSON emits the summary as indented JSON.
@@ -135,11 +175,11 @@ func Map[I, O any](ctx context.Context, cfg Config, items []I, key func(i int, i
 
 	out := make([]O, len(items))
 	errs := make([]error, len(items))
-	metrics := make([]ShardMetric, len(items))
+	shardMetrics := make([]ShardMetric, len(items))
 	ops := make([]int64, len(items))
+	counters := make([]map[string]int64, len(items))
 
-	var memBefore runtime.MemStats
-	runtime.ReadMemStats(&memBefore)
+	allocBytes0, mallocs0 := allocCounts()
 	start := time.Now()
 
 	jobs := make(chan int)
@@ -153,10 +193,10 @@ func Map[I, O any](ctx context.Context, cfg Config, items []I, key func(i int, i
 			for i := range jobs {
 				item := items[i]
 				k := key(i, item)
-				shard := Shard{Index: i, Key: k, Seed: DeriveSeed(cfg.Seed, k), ops: &ops[i]}
+				shard := Shard{Index: i, Key: k, Seed: DeriveSeed(cfg.Seed, k), ops: &ops[i], counters: &counters[i]}
 				t0 := time.Now()
 				res, err := fn(shard, item)
-				metrics[i] = ShardMetric{Key: k, Seed: shard.Seed, Seconds: time.Since(t0).Seconds()}
+				shardMetrics[i] = ShardMetric{Key: k, Seed: shard.Seed, Seconds: time.Since(t0).Seconds()}
 				if err != nil {
 					errs[i] = fmt.Errorf("runner: shard %q: %w", k, err)
 					failed.Do(func() { close(stop) })
@@ -180,20 +220,33 @@ dispatch:
 	wg.Wait()
 
 	wall := time.Since(start).Seconds()
-	var memAfter runtime.MemStats
-	runtime.ReadMemStats(&memAfter)
+	allocBytes1, mallocs1 := allocCounts()
 
 	var shardSec stats.Accumulator
 	var totalOps int64
 	perShard := make([]ShardMetric, 0, len(items))
-	for i := range metrics {
-		if metrics[i].Key == "" { // never dispatched (aborted sweep)
+	var totals map[string]int64
+	for i := range shardMetrics {
+		if shardMetrics[i].Key == "" { // never dispatched (aborted sweep)
 			continue
 		}
-		metrics[i].Ops = ops[i]
+		shardMetrics[i].Ops = ops[i]
 		totalOps += ops[i]
-		shardSec.Add(metrics[i].Seconds)
-		perShard = append(perShard, metrics[i])
+		shardSec.Add(shardMetrics[i].Seconds)
+		perShard = append(perShard, shardMetrics[i])
+		if len(counters[i]) > 0 {
+			if totals == nil {
+				totals = make(map[string]int64, len(counters[i]))
+			}
+			names := make([]string, 0, len(counters[i]))
+			for name := range counters[i] {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				totals[name] += counters[i][name]
+			}
+		}
 	}
 	sum := &Summary{
 		Name:           cfg.Name,
@@ -203,13 +256,14 @@ dispatch:
 		WallSeconds:    wall,
 		ShardSeconds:   shardSec.Sum(),
 		Ops:            totalOps,
-		AllocBytes:     memAfter.TotalAlloc - memBefore.TotalAlloc,
-		Mallocs:        memAfter.Mallocs - memBefore.Mallocs,
+		AllocBytes:     allocBytes1 - allocBytes0,
+		Mallocs:        mallocs1 - mallocs0,
 		ShardMinSec:    shardSec.Min(),
 		ShardMeanSec:   shardSec.Mean(),
 		ShardMaxSec:    shardSec.Max(),
 		ShardStddevSec: shardSec.Stddev(),
 		PerShard:       perShard,
+		Counters:       totals,
 	}
 	if wall > 0 {
 		sum.Speedup = sum.ShardSeconds / wall

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"flexlevel/internal/baseline"
@@ -142,6 +143,25 @@ func (c Config) channels() int {
 	return c.Channels
 }
 
+// CacheStats counts the activity of one hot-path memoization layer.
+// Hits and misses are per consultation; Resets counts cap-overflow
+// compactions (and, for the level cache, crash restarts that drop the
+// volatile controller RAM).
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Resets int64 `json:"resets"`
+}
+
+// Sub returns c minus base (for measurement-window snapshots).
+func (c CacheStats) Sub(base CacheStats) CacheStats {
+	return CacheStats{
+		Hits:   c.Hits - base.Hits,
+		Misses: c.Misses - base.Misses,
+		Resets: c.Resets - base.Resets,
+	}
+}
+
 // Results holds the simulator's outputs.
 type Results struct {
 	ReadResp    stats.Accumulator
@@ -192,6 +212,13 @@ type Results struct {
 	RecoveryTornPages int64
 	RecoveryTime      time.Duration
 
+	// Cache observability (DESIGN.md §11): the per-device level cache
+	// (quantized BER -> sensing levels) and the BER surface backing the
+	// device's BERFunc, when the caller registered one via
+	// SetBERCacheStats. Counters cover the current measurement window.
+	LevelCache CacheStats
+	BERCache   CacheStats
+
 	FTL ftl.Stats
 }
 
@@ -218,28 +245,77 @@ type Device struct {
 	crashed  bool
 	ftlPrior ftl.Stats
 
-	levelCache map[float64]levelEntry // quantized BER -> required levels
+	levelCache map[int64]*levelEntry // quantized BER -> required levels
+
+	// attemptsBuf is the reusable scratch the read path hands to
+	// baseline.AttemptAppender policies, so steady-state reads allocate
+	// nothing. appender is the policy's appender view, resolved once.
+	attemptsBuf []int
+	appender    baseline.AttemptAppender
+
+	// berStats, when registered, snapshots the counters of the cache
+	// behind berOf (e.g. core's BER surface); berBase is its value at the
+	// last measurement reset.
+	berStats func() CacheStats
+	berBase  CacheStats
 }
 
 // levelCacheCap bounds the level cache; BER is a continuous input, so an
 // uncapped map would grow without limit on long runs. On overflow the
-// cache is simply reset (the memoized function is deterministic).
+// hottest quarter of the entries survives (see compactLevelCache); the
+// memoized function is deterministic, so dropped entries only cost
+// recomputation.
 const levelCacheCap = 8192
 
 // berKey quantizes a BER to ~1e-5 relative resolution in log space so
 // continuous BER values collapse onto a finite key set. The level rule's
 // step boundaries are orders of magnitude wider than the quantum, so the
-// quantization does not change computed levels in practice.
-func berKey(ber float64) float64 {
+// quantization does not change computed levels in practice. The key is
+// an integer: float64 map keys hash poorly in this range and leave the
+// -0/+0 ambiguity open (both quantize to key 0 here, but -0 == +0 as
+// int64 where they were distinct bit patterns as floats).
+func berKey(ber float64) int64 {
 	if ber <= 0 {
-		return math.Inf(-1)
+		return math.MinInt64
 	}
-	return math.Round(math.Log(ber) * 1e5)
+	return int64(math.Round(math.Log(ber) * 1e5))
 }
 
 type levelEntry struct {
 	levels     int
 	achievable bool
+	hits       int64
+}
+
+// compactLevelCache shrinks a full level cache to its hottest quarter
+// instead of dropping the whole map. Survivors are chosen by hit count
+// (ties broken by key) so the selection is deterministic; kept entries
+// restart their hit counts to avoid fossilizing early winners.
+func (d *Device) compactLevelCache() {
+	type kv struct {
+		key int64
+		e   *levelEntry
+	}
+	entries := make([]kv, 0, len(d.levelCache))
+	for k, e := range d.levelCache {
+		entries = append(entries, kv{k, e})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].e.hits != entries[j].e.hits {
+			return entries[i].e.hits > entries[j].e.hits
+		}
+		return entries[i].key < entries[j].key
+	})
+	keep := levelCacheCap / 4
+	if keep > len(entries) {
+		keep = len(entries)
+	}
+	d.levelCache = make(map[int64]*levelEntry, levelCacheCap/4)
+	for _, it := range entries[:keep] {
+		it.e.hits = 0
+		d.levelCache[it.key] = it.e
+	}
+	d.res.LevelCache.Resets++
 }
 
 // channelOf maps a physical block to its flash channel.
@@ -267,7 +343,11 @@ func New(cfg Config, berOf BERFunc, policy baseline.ReadPolicy) (*Device, error)
 		ageOffset:  make([]float64, phys),
 		progTime:   make([]time.Duration, phys),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		levelCache: make(map[float64]levelEntry),
+		levelCache: make(map[int64]*levelEntry),
+	}
+	d.attemptsBuf = make([]int, 0, sensing.MaxExtraLevels+2)
+	if ap, ok := policy.(baseline.AttemptAppender); ok {
+		d.appender = ap
 	}
 	if cfg.Faults.Enabled() {
 		inj, err := fault.New(cfg.Faults)
@@ -327,8 +407,21 @@ func (d *Device) ResetMeasurement() {
 	}
 	d.res = Results{ReadSample: stats.NewSample(0)}
 	d.faultBase = d.inj.Stats()
+	if d.berStats != nil {
+		d.berBase = d.berStats()
+	}
 	d.ftlPrior = ftl.Stats{}
 	d.ftl.ResetStats()
+}
+
+// SetBERCacheStats registers a counter snapshot function for the cache
+// behind the device's BERFunc, so Results can report BER-cache activity
+// for the measurement window alongside the level cache's.
+func (d *Device) SetBERCacheStats(fn func() CacheStats) {
+	d.berStats = fn
+	if fn != nil {
+		d.berBase = fn()
+	}
 }
 
 // ageHours returns the retention age of a physical page at sim time now.
@@ -354,18 +447,27 @@ func (d *Device) requiredLevels(lpn uint64, now time.Duration) (int, bool) {
 	if !ok {
 		return 0, true
 	}
+	return d.requiredLevelsAt(ppn, state, now)
+}
+
+// requiredLevelsAt is requiredLevels for an already-resolved mapping, so
+// the read path pays one FTL lookup instead of two.
+func (d *Device) requiredLevelsAt(ppn int64, state ftl.BlockState, now time.Duration) (int, bool) {
 	block := int(ppn) / d.cfg.FTL.PagesPerBlock
 	pe := d.ftl.BlockPE(block)
 	ber := d.berOf(state, pe, d.ageHours(ppn, now))
 	key := berKey(ber)
 	if e, ok := d.levelCache[key]; ok {
+		e.hits++
+		d.res.LevelCache.Hits++
 		return e.levels, e.achievable
 	}
+	d.res.LevelCache.Misses++
 	levels, achievable := d.cfg.Rule.RequiredLevels(ber)
 	if len(d.levelCache) >= levelCacheCap {
-		d.levelCache = make(map[float64]levelEntry, levelCacheCap/4)
+		d.compactLevelCache()
 	}
-	d.levelCache[key] = levelEntry{levels, achievable}
+	d.levelCache[key] = &levelEntry{levels: levels, achievable: achievable}
 	return levels, achievable
 }
 
@@ -381,16 +483,23 @@ func (d *Device) Read(now time.Duration, lpn uint64) (time.Duration, int) {
 	var state ftl.BlockState
 	mapped := false
 	if ppn, st, ok := d.ftl.Lookup(lpn); ok {
-		required, achievable = d.requiredLevels(lpn, now)
+		required, achievable = d.requiredLevelsAt(ppn, st, now)
 		block = int(ppn) / d.cfg.FTL.PagesPerBlock
 		state = st
 		mapped = true
 	}
-	attempts := d.policy.Attempts(block, required)
+	var attempts []int
+	if d.appender != nil {
+		// Zero-alloc path: the policy appends into the device's scratch
+		// buffer instead of allocating a fresh slice per read.
+		attempts = d.appender.AppendAttempts(d.attemptsBuf[:0], block, required)
+	} else {
+		attempts = d.policy.Attempts(block, required)
+	}
 	if len(attempts) == 0 {
 		// Defensive fallback for a broken policy: a single hard-decision
 		// attempt instead of an index panic below.
-		attempts = []int{0}
+		attempts = append(attempts, 0)
 	}
 	if d.inj != nil && mapped {
 		// Transient uncorrectable reads: the decode fails despite the
@@ -453,6 +562,10 @@ func (d *Device) Read(now time.Duration, lpn uint64) (time.Duration, int) {
 		if err := d.Migrate(now, lpn, state); err == nil {
 			d.res.Refreshes++
 		}
+	}
+	if d.appender != nil {
+		// Keep whatever capacity the retry path grew for the next read.
+		d.attemptsBuf = attempts[:0]
 	}
 	return resp, final
 }
@@ -617,7 +730,8 @@ func (d *Device) Restart(now time.Duration) (ftl.RecoveryReport, error) {
 	}
 	// Controller RAM did not survive: the level cache and the policy's
 	// per-block sensing memory start cold.
-	d.levelCache = make(map[float64]levelEntry)
+	d.levelCache = make(map[int64]*levelEntry)
+	d.res.LevelCache.Resets++
 	if r, ok := d.policy.(interface{ Reset() }); ok {
 		r.Reset()
 	}
@@ -642,6 +756,9 @@ func (d *Device) Results() Results {
 	r := d.res
 	r.FTL = d.ftlPrior.Add(d.ftl.Stats())
 	r.Faults = d.inj.Stats().Sub(d.faultBase)
+	if d.berStats != nil {
+		r.BERCache = d.berStats().Sub(d.berBase)
+	}
 	return r
 }
 

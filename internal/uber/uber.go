@@ -12,6 +12,7 @@ package uber
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Code describes a rate-n/m block code over a data block.
@@ -49,13 +50,39 @@ func RateCode(infoBytes, num, den int) Code {
 	return Code{InfoBits: n, TotalBits: n * den / num}
 }
 
-// logChoose returns log C(m, i) via lgamma.
-func logChoose(m, i int) float64 {
-	lg := func(x int) float64 {
-		v, _ := math.Lgamma(float64(x) + 1)
-		return v
+// logFactTable caches log(x!) = lgamma(x+1) for x in [0, m]. The tail
+// sum evaluates logChoose for thousands of consecutive i per call and
+// Lgamma dominated the whole simulator's CPU profile before the table
+// (three transcendental evaluations per binomial term); the table turns
+// each logChoose into three loads. Entries are exactly the values
+// math.Lgamma returns, so every downstream result is bit-identical to
+// the untabled computation.
+var logFactTable struct {
+	sync.RWMutex
+	tab []float64
+}
+
+// logFact returns the cached log(x!) table covering at least [0, m].
+func logFact(m int) []float64 {
+	logFactTable.RLock()
+	tab := logFactTable.tab
+	logFactTable.RUnlock()
+	if len(tab) > m {
+		return tab
 	}
-	return lg(m) - lg(i) - lg(m-i)
+	logFactTable.Lock()
+	defer logFactTable.Unlock()
+	for x := len(logFactTable.tab); x <= m; x++ {
+		v, _ := math.Lgamma(float64(x) + 1)
+		logFactTable.tab = append(logFactTable.tab, v)
+	}
+	return logFactTable.tab
+}
+
+// logChoose returns log C(m, i) via the lgamma table.
+func logChoose(m, i int) float64 {
+	tab := logFact(m)
+	return tab[m] - tab[i] - tab[m-i]
 }
 
 // logAdd returns log(exp(a) + exp(b)) stably.
@@ -90,11 +117,14 @@ func logBinomTail(m, k int, p float64) float64 {
 	lp := math.Log(p)
 	lq := math.Log1p(-p)
 	// Sum pmf from i = k+1 to m in the log domain. The pmf decays fast
-	// past the mode; stop when terms stop contributing.
+	// past the mode; stop when terms stop contributing. The lgamma
+	// table is fetched once for the whole sum (one lock round-trip
+	// instead of one per term).
 	mode := int(float64(m+1) * p)
 	total := math.Inf(-1)
+	tab := logFact(m)
 	logPmf := func(i int) float64 {
-		return logChoose(m, i) + float64(i)*lp + float64(m-i)*lq
+		return tab[m] - tab[i] - tab[m-i] + float64(i)*lp + float64(m-i)*lq
 	}
 	start := k + 1
 	if start <= mode {
