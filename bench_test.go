@@ -516,6 +516,53 @@ func BenchmarkTraceGenerate(b *testing.B) {
 	}
 }
 
+// replayBench replays a Fig. 6(a)-style fin-2 trace under FlexLevel on
+// an 8-channel device, through either the legacy serial path (qd 1) or
+// the batched event-driven path (qd > 1). The pair gates the scheduler
+// tentpole: the batched path's level-table fast path and in-flight
+// window must beat the serial path by a wide margin at equal work.
+func replayBench(b *testing.B, qd int) {
+	b.Helper()
+	opts := core.DefaultOptions(core.FlexLevel, 6000)
+	opts.SSD.Channels = 8
+	w, err := trace.ByName("fin-2", 8000, opts.SSD.FTL.LogicalPages, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := w.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var m core.Metrics
+	for i := 0; i < b.N; i++ {
+		r, err := core.NewRunner(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if qd <= 1 {
+			m, err = r.RunRequests(w.Name, reqs, w.WorkingSet)
+		} else {
+			m, err = r.RunRequestsQD(w.Name, reqs, w.WorkingSet, qd)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.AvgResponse*1e6, "avg-resp-µs")
+}
+
+// BenchmarkReplaySerialQD1 is the pre-scheduler replay path: one
+// request in flight, Step per request, LevelRule bisection on level
+// cache misses.
+func BenchmarkReplaySerialQD1(b *testing.B) { replayBench(b, 1) }
+
+// BenchmarkReplayBatchedQD8 is the scheduler path: StepBatch keeps 8
+// requests in flight over the completion heap and the device resolves
+// sensing levels through the precomputed level table.
+func BenchmarkReplayBatchedQD8(b *testing.B) { replayBench(b, 8) }
+
 // BenchmarkReliabilityParallel runs the fault-injection sweep through
 // the experiment engine with all cores and reports the engine's own
 // speedup metric (summed shard time over wall time), so the CI

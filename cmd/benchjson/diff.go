@@ -105,7 +105,10 @@ func printDiff(w io.Writer, rows []DiffRow, tol float64) int {
 		case r.OnlyInOld:
 			fmt.Fprintf(w, "  MISSING  %s (in baseline only)\n", r.Key)
 		case r.OnlyInNew:
-			fmt.Fprintf(w, "  NEW      %s (no baseline)\n", r.Key)
+			// A benchmark with no baseline entry is an addition, not a
+			// regression: report it and let the run pass, so landing new
+			// benchmarks never requires refreshing the baseline first.
+			fmt.Fprintf(w, "  ADDED    %s (no baseline)\n", r.Key)
 		case r.Regressed:
 			regressions++
 			fmt.Fprintf(w, "  FAIL     %s: %s\n", r.Key, r.Reason)

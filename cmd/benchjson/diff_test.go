@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -72,6 +75,45 @@ func TestDiffMissingAndNew(t *testing.T) {
 	var sb strings.Builder
 	if n := printDiff(&sb, rows, 0.15); n != 0 {
 		t.Errorf("missing/new rows should not count as regressions, got %d\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "ADDED") || !strings.Contains(sb.String(), "MISSING") {
+		t.Errorf("diff output should label added and missing rows:\n%s", sb.String())
+	}
+}
+
+// TestDiffMainAddedBenchmark drives the real entry point end to end:
+// a new run that contains benchmarks absent from the baseline must
+// exit 0 (added, not regressed), while a genuine regression on a
+// shared benchmark must still exit 1.
+func TestDiffMainAddedBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, r *Report) string {
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", mkReport(
+		Benchmark{Name: "BenchmarkShared", Package: "p", NsPerOp: 100},
+	))
+	newPath := write("new.json", mkReport(
+		Benchmark{Name: "BenchmarkShared", Package: "p", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkBrandNew", Package: "p", NsPerOp: 9999},
+	))
+	if code := diffMain([]string{oldPath, newPath}); code != 0 {
+		t.Errorf("added benchmark should not fail the gate, exit %d", code)
+	}
+	badPath := write("bad.json", mkReport(
+		Benchmark{Name: "BenchmarkShared", Package: "p", NsPerOp: 200},
+		Benchmark{Name: "BenchmarkBrandNew", Package: "p", NsPerOp: 9999},
+	))
+	if code := diffMain([]string{oldPath, badPath}); code != 1 {
+		t.Errorf("regressed shared benchmark should exit 1, got %d", code)
 	}
 }
 

@@ -13,6 +13,7 @@
 //	flexlevel replay -in f       replay a CSV or MSR trace file
 //	flexlevel reliability [-faults m]  fault-injection sweep: bad blocks, degradation
 //	flexlevel crash [-crashes k] power-loss sweep: journal replay, recovery audit
+//	flexlevel throughput [-n N]  IOPS and read-latency percentiles vs queue depth 1..32
 //	flexlevel all   [-n N]       everything above in order
 //
 // SIGINT cancels a running sweep cleanly: shards not yet started stay
@@ -38,7 +39,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|crash|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-crashes k] [-in file -format csv|msr] [-cpuprofile f] [-memprofile f] [-trace f]")
+	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|crash|throughput|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-crashes k] [-in file -format csv|msr] [-cpuprofile f] [-memprofile f] [-trace f]")
 	os.Exit(2)
 }
 
@@ -238,6 +239,15 @@ func main() {
 			if err := writeCSV("crash_summary.json", func(f *os.File) error { return data.Summary.WriteJSON(f) }); err != nil {
 				return err
 			}
+		case "throughput":
+			rows, err := exp.Throughput(cfg)
+			if err != nil {
+				return err
+			}
+			exp.PrintThroughput(os.Stdout, rows)
+			if err := writeCSV("throughput.csv", func(f *os.File) error { return exp.WriteThroughputCSV(f, rows) }); err != nil {
+				return err
+			}
 		default:
 			usage()
 		}
@@ -246,11 +256,11 @@ func main() {
 
 	var names []string
 	if cmd == "all" {
-		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare", "reliability", "crash"}
+		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare", "reliability", "crash", "throughput"}
 	} else {
 		switch cmd {
 		case "fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations",
-			"ecc", "retshare", "replay", "reliability", "crash":
+			"ecc", "retshare", "replay", "reliability", "crash", "throughput":
 		default:
 			usage() // before any profile file is created
 		}

@@ -105,7 +105,14 @@ type Metrics struct {
 	AvgResponse float64 // seconds, all requests (Fig. 6 metric)
 	AvgRead     float64
 	AvgWrite    float64
-	P99Read     float64 // 99th percentile read response, seconds
+	P50Read     float64 // read response percentiles, seconds
+	P95Read     float64
+	P99Read     float64
+
+	// SimTime is the simulated makespan in seconds: the point at which
+	// every flash channel went idle. Requests/SimTime is the throughput
+	// sweep's IOPS.
+	SimTime float64
 
 	UserWrites    int64
 	TotalPrograms int64 // Fig. 7(a) write count
@@ -279,33 +286,8 @@ func (r *Runner) Prepare(reqs []trace.Request, workingSet uint64) error {
 // ftl.ErrPowerLoss; the caller decides whether that is fatal or the cue
 // to run ssd.Device.Restart and resume.
 func (r *Runner) Step(req trace.Request) error {
-	if r.device.Crashed() {
-		return ftl.ErrPowerLoss
-	}
-	for p := 0; p < req.Pages; p++ {
-		lpn := req.LPN + uint64(p)
-		if lpn >= r.opts.SSD.FTL.LogicalPages {
-			lpn %= r.opts.SSD.FTL.LogicalPages
-		}
-		if req.Op == trace.Read {
-			if err := r.read(req.Arrival, lpn); err != nil {
-				return err
-			}
-			if r.device.Crashed() {
-				// A background migration triggered by the read hit the
-				// cut; reads return no error, so check explicitly.
-				return ftl.ErrPowerLoss
-			}
-		} else {
-			if _, err := r.device.Write(req.Arrival, lpn, r.writeState(lpn)); err != nil {
-				if errors.Is(err, ftl.ErrPowerLoss) {
-					return err
-				}
-				return fmt.Errorf("core: %s write lpn %d: %w", r.opts.System, lpn, err)
-			}
-		}
-	}
-	return nil
+	_, err := r.stepAt(req, req.Arrival)
+	return err
 }
 
 // Finish closes a Prepare/Step sequence and returns the metrics.
@@ -331,10 +313,10 @@ func (r *Runner) preload(pages uint64) error {
 	return nil
 }
 
-func (r *Runner) read(now time.Duration, lpn uint64) error {
-	_, levels := r.device.Read(now, lpn)
+func (r *Runner) read(now time.Duration, lpn uint64) (time.Duration, error) {
+	resp, levels := r.device.Read(now, lpn)
 	if r.ctrl == nil {
-		return nil
+		return resp, nil
 	}
 	dec := r.ctrl.OnRead(lpn, levels)
 	for _, victim := range dec.Evict {
@@ -342,15 +324,15 @@ func (r *Runner) read(now time.Duration, lpn uint64) error {
 			if migrationSkippable(err) {
 				continue
 			}
-			return fmt.Errorf("core: evict lpn %d: %w", victim, err)
+			return resp, fmt.Errorf("core: evict lpn %d: %w", victim, err)
 		}
 	}
 	if dec.Migrate {
 		if err := r.device.Migrate(now, lpn, ftl.ReducedState); err != nil && !migrationSkippable(err) {
-			return fmt.Errorf("core: migrate lpn %d: %w", lpn, err)
+			return resp, fmt.Errorf("core: migrate lpn %d: %w", lpn, err)
 		}
 	}
-	return nil
+	return resp, nil
 }
 
 // migrationSkippable reports whether a background pool conversion may be
@@ -368,7 +350,10 @@ func (r *Runner) metrics(workload string) Metrics {
 		AvgResponse:   res.OverallResp.Mean(),
 		AvgRead:       res.ReadResp.Mean(),
 		AvgWrite:      res.WriteResp.Mean(),
+		P50Read:       res.ReadSample.Percentile(50),
+		P95Read:       res.ReadSample.Percentile(95),
 		P99Read:       res.ReadSample.Percentile(99),
+		SimTime:       r.device.Now().Seconds(),
 		UserWrites:    res.FTL.UserPrograms,
 		TotalPrograms: res.FTL.TotalPrograms(),
 		Erases:        res.FTL.Erases,

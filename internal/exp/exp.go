@@ -356,6 +356,7 @@ func Fig6a(cfg SimConfig) (*Fig6aData, error) {
 			}
 			s.AddOps(int64(cfg.Requests))
 			addCacheCounters(s, m.LevelCache, m.BERCache)
+			addLatencyGauges(s, m)
 			return RunResult{m}, nil
 		})
 	if err != nil {

@@ -24,6 +24,29 @@ var ErrDegraded = errors.New("ftl: degraded mode, writes disabled (bad blocks ex
 // left intact.
 var ErrWriteFailed = errors.New("ftl: program retries exhausted")
 
+// BlockError attributes a media-level failure to the physical block it
+// hit, so timing layers can charge the wasted flash work to the channel
+// that owns the block instead of guessing. It formats exactly like the
+// error it wraps, and errors.Is/As see through it.
+type BlockError struct {
+	Block int
+	Err   error
+}
+
+func (e *BlockError) Error() string { return e.Err.Error() }
+
+func (e *BlockError) Unwrap() error { return e.Err }
+
+// FailedBlock extracts the physical block a failure is attributed to;
+// ok is false when the chain carries no BlockError.
+func FailedBlock(err error) (block int, ok bool) {
+	var be *BlockError
+	if errors.As(err, &be) {
+		return be.Block, true
+	}
+	return 0, false
+}
+
 // ErrPowerLoss is returned once an injected power cut has torn a
 // physical media operation: the FTL is dead, every volatile structure
 // is garbage, and only Recover over the durable Media brings the
@@ -715,8 +738,9 @@ func (f *FTL) appendPage(lpn uint64, state BlockState, ops *OpCount) (int64, err
 				return 0, fmt.Errorf("ftl: retire of block %d: %w", ab.block, ErrPowerLoss)
 			}
 			if retries >= f.cfg.programRetries() {
-				return 0, fmt.Errorf("ftl: program block %d page %d (lpn %d, %v pool): %w",
-					ab.block, page, lpn, state, ErrWriteFailed)
+				return 0, &BlockError{Block: ab.block,
+					Err: fmt.Errorf("ftl: program block %d page %d (lpn %d, %v pool): %w",
+						ab.block, page, lpn, state, ErrWriteFailed)}
 			}
 			continue
 		}

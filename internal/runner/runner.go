@@ -55,6 +55,7 @@ type Shard struct {
 	Seed     int64
 	ops      *int64
 	counters *map[string]int64
+	gauges   *map[string]float64
 }
 
 // AddOps records n simulated operations (requests, cells, trials) for
@@ -72,6 +73,24 @@ func (s Shard) AddCounter(name string, n int64) {
 		*s.counters = make(map[string]int64, 8)
 	}
 	(*s.counters)[name] += n
+}
+
+// AddGauge records a named sweep-level gauge (e.g. a latency
+// percentile). Unlike counters, gauges do not sum: Summary.Gauges keeps
+// the maximum across shards — the worst-shard value — which is the
+// useful aggregate for tail latencies. Repeated calls in one shard also
+// keep the maximum; the aggregate is order-independent, hence
+// deterministic for any worker count.
+func (s Shard) AddGauge(name string, v float64) {
+	if s.gauges == nil {
+		return
+	}
+	if *s.gauges == nil {
+		*s.gauges = make(map[string]float64, 8)
+	}
+	if cur, ok := (*s.gauges)[name]; !ok || v > cur {
+		(*s.gauges)[name] = v
+	}
 }
 
 // allocCounts samples the runtime's cumulative heap allocation metrics.
@@ -138,6 +157,11 @@ type Summary struct {
 	// shards (cache hit/miss observability and the like). Omitted when no
 	// shard recorded any.
 	Counters map[string]int64 `json:"counters,omitempty"`
+
+	// Gauges holds the maximum of each named Shard.AddGauge value across
+	// all shards (worst-shard semantics: a sweep-level tail latency is
+	// the worst cell's tail latency). Omitted when no shard recorded any.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
 }
 
 // WriteJSON emits the summary as indented JSON.
@@ -178,6 +202,7 @@ func Map[I, O any](ctx context.Context, cfg Config, items []I, key func(i int, i
 	shardMetrics := make([]ShardMetric, len(items))
 	ops := make([]int64, len(items))
 	counters := make([]map[string]int64, len(items))
+	gauges := make([]map[string]float64, len(items))
 
 	allocBytes0, mallocs0 := allocCounts()
 	start := time.Now()
@@ -193,7 +218,7 @@ func Map[I, O any](ctx context.Context, cfg Config, items []I, key func(i int, i
 			for i := range jobs {
 				item := items[i]
 				k := key(i, item)
-				shard := Shard{Index: i, Key: k, Seed: DeriveSeed(cfg.Seed, k), ops: &ops[i], counters: &counters[i]}
+				shard := Shard{Index: i, Key: k, Seed: DeriveSeed(cfg.Seed, k), ops: &ops[i], counters: &counters[i], gauges: &gauges[i]}
 				t0 := time.Now()
 				res, err := fn(shard, item)
 				shardMetrics[i] = ShardMetric{Key: k, Seed: shard.Seed, Seconds: time.Since(t0).Seconds()}
@@ -226,6 +251,7 @@ dispatch:
 	var totalOps int64
 	perShard := make([]ShardMetric, 0, len(items))
 	var totals map[string]int64
+	var maxGauges map[string]float64
 	for i := range shardMetrics {
 		if shardMetrics[i].Key == "" { // never dispatched (aborted sweep)
 			continue
@@ -247,6 +273,16 @@ dispatch:
 				totals[name] += counters[i][name]
 			}
 		}
+		if len(gauges[i]) > 0 {
+			if maxGauges == nil {
+				maxGauges = make(map[string]float64, len(gauges[i]))
+			}
+			for name, v := range gauges[i] {
+				if cur, ok := maxGauges[name]; !ok || v > cur {
+					maxGauges[name] = v
+				}
+			}
+		}
 	}
 	sum := &Summary{
 		Name:           cfg.Name,
@@ -264,6 +300,7 @@ dispatch:
 		ShardStddevSec: shardSec.Stddev(),
 		PerShard:       perShard,
 		Counters:       totals,
+		Gauges:         maxGauges,
 	}
 	if wall > 0 {
 		sum.Speedup = sum.ShardSeconds / wall

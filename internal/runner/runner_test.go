@@ -251,3 +251,52 @@ func TestMapNilContext(t *testing.T) {
 		t.Fatalf("nil ctx sweep: out=%v err=%v", out, err)
 	}
 }
+
+func TestGaugesMaxAggregation(t *testing.T) {
+	items := []int{3, 9, 5, 7}
+	var sum *Summary
+	cfg := Config{Name: "gauges", Workers: 4, Seed: 1, OnSummary: func(s *Summary) { sum = s }}
+	_, _, err := Map(context.Background(), cfg, items,
+		func(i int, v int) string { return fmt.Sprintf("cell-%d", i) },
+		func(s Shard, v int) (int, error) {
+			s.AddGauge("p99_read_s", float64(v))
+			s.AddGauge("p99_read_s", float64(v)-1) // lower repeat must not win
+			s.AddCounter("reads", int64(v))
+			return v, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum == nil {
+		t.Fatal("no summary emitted")
+	}
+	if got := sum.Gauges["p99_read_s"]; got != 9 {
+		t.Errorf("gauge aggregated to %g, want max 9", got)
+	}
+	if got := sum.Counters["reads"]; got != 24 {
+		t.Errorf("counter aggregated to %d, want sum 24", got)
+	}
+	// Gauge aggregation must not depend on worker count.
+	for _, workers := range []int{1, 2, 3} {
+		var s2 *Summary
+		cfg := Config{Name: "gauges", Workers: workers, Seed: 1, OnSummary: func(s *Summary) { s2 = s }}
+		if _, _, err := Map(context.Background(), cfg, items,
+			func(i int, v int) string { return fmt.Sprintf("cell-%d", i) },
+			func(s Shard, v int) (int, error) {
+				s.AddGauge("p99_read_s", float64(v))
+				return v, nil
+			}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s2.Gauges, sum.Gauges) {
+			t.Errorf("workers=%d gauges %v != reference %v", workers, s2.Gauges, sum.Gauges)
+		}
+	}
+}
+
+func TestGaugeOnZeroShard(t *testing.T) {
+	// A Shard zero value (no backing map) must not panic.
+	var s Shard
+	s.AddGauge("x", 1)
+	s.AddCounter("y", 1)
+}

@@ -80,6 +80,79 @@ func (r LevelRule) RequiredLevels(pc float64) (levels int, ok bool) {
 	return levels, true
 }
 
+// LevelTable is an inverted LevelRule. RequiredLevels on the rule runs
+// a binary search whose every probe sums a log-domain binomial tail —
+// ~17 tail evaluations per call, which profiling shows is where nearly
+// all replay wall-clock goes on level-cache misses. The table instead
+// precomputes, once, the highest raw BER each level count can tolerate
+// (there are only MaxExtraLevels+1 of them), turning a lookup into at
+// most 8 float comparisons.
+//
+// Lookups agree exactly with the rule: the per-level bisection keeps an
+// explicit bracket [okBelow, failAt) — okBelow is a BER proven to meet
+// the target, failAt one proven to miss it — and any pc landing inside
+// the (≈1e-13 relative) bracket is resolved with the rule's own
+// uber.MeetsTarget predicate. Equivalence holds because the binomial
+// tail is monotone in both k and pc: the rule's bucketed
+// ceil((RequiredK-KBase)/KStep) equals the smallest L whose capability
+// KBase+L*KStep meets the target, which is what the table answers.
+type LevelTable struct {
+	rule    LevelRule
+	okBelow [MaxExtraLevels + 1]float64 // highest pc proven to meet the target with L levels
+	failAt  [MaxExtraLevels + 1]float64 // lowest pc proven to miss it
+}
+
+// NewLevelTable precomputes the BER thresholds for rule.
+func NewLevelTable(rule LevelRule) (*LevelTable, error) {
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	t := &LevelTable{rule: rule}
+	for l := 0; l <= MaxExtraLevels; l++ {
+		k := rule.KBase + l*rule.KStep
+		lo, hi := 1e-18, 1.0
+		if !uber.MeetsTarget(rule.Code, k, lo, rule.Target) {
+			// Degenerate rule: even a vanishing BER misses the target.
+			// Keep the bracket honest; every lookup falls back.
+			t.okBelow[l], t.failAt[l] = 0, lo
+			continue
+		}
+		// Geometric bisection: BER thresholds span decades, so halve the
+		// bracket's log-width each step. 90 steps shrink the initial 18
+		// decades far below float64 spacing.
+		for i := 0; i < 90 && hi-lo > lo*1e-13; i++ {
+			mid := math.Sqrt(lo * hi)
+			if uber.MeetsTarget(rule.Code, k, mid, rule.Target) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		t.okBelow[l], t.failAt[l] = lo, hi
+	}
+	return t, nil
+}
+
+// Rule returns the rule the table inverts.
+func (t *LevelTable) Rule() LevelRule { return t.rule }
+
+// RequiredLevels returns exactly what t.Rule().RequiredLevels returns.
+func (t *LevelTable) RequiredLevels(pc float64) (levels int, ok bool) {
+	if pc <= 0 {
+		return 0, true
+	}
+	for l := 0; l <= MaxExtraLevels; l++ {
+		if pc <= t.okBelow[l] {
+			return l, true
+		}
+		if pc < t.failAt[l] &&
+			uber.MeetsTarget(t.rule.Code, t.rule.KBase+l*t.rule.KStep, pc, t.rule.Target) {
+			return l, true
+		}
+	}
+	return MaxExtraLevels, false
+}
+
 // TriggerBER returns the raw BER above which the first extra sensing
 // level becomes necessary — the paper quotes 4e-3 for its code. Found by
 // bisection on the monotone RequiredLevels rule.

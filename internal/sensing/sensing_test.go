@@ -2,6 +2,7 @@ package sensing
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -211,5 +212,53 @@ func TestQuantizerNearBoundaryWeak(t *testing.T) {
 	far := math.Abs(q.LLR(lower.Mu + 0.05))
 	if near >= far {
 		t.Errorf("near-boundary |LLR| %g should be below far |LLR| %g", near, far)
+	}
+}
+
+// TestLevelTableMatchesRule is the equivalence property behind the fast
+// read path: the inverted threshold table must agree with the bisection
+// rule everywhere, including exactly at and adjacent to each threshold.
+func TestLevelTableMatchesRule(t *testing.T) {
+	r := DefaultRule()
+	tab, err := NewLevelTable(r)
+	if err != nil {
+		t.Fatalf("NewLevelTable: %v", err)
+	}
+	check := func(pc float64) {
+		t.Helper()
+		wantL, wantOK := r.RequiredLevels(pc)
+		gotL, gotOK := tab.RequiredLevels(pc)
+		if gotL != wantL || gotOK != wantOK {
+			t.Fatalf("pc=%.17g: table (%d,%v) != rule (%d,%v)", pc, gotL, gotOK, wantL, wantOK)
+		}
+	}
+	// Dense log-uniform grid over every BER regime the simulator visits.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		pc := math.Exp(rng.Float64()*math.Log(0.5/1e-8) + math.Log(1e-8))
+		check(pc)
+	}
+	// Probe each precomputed threshold and its float neighbours: these
+	// are the only places the table could disagree with the rule.
+	for l := 0; l <= MaxExtraLevels; l++ {
+		for _, thr := range []float64{tab.okBelow[l], tab.failAt[l]} {
+			for _, pc := range []float64{
+				math.Nextafter(thr, 0), thr, math.Nextafter(thr, 1),
+				thr * (1 - 1e-12), thr * (1 + 1e-12),
+			} {
+				check(pc)
+			}
+		}
+	}
+	check(0)
+	check(-1e-3)
+	check(1)
+}
+
+func TestLevelTableValidation(t *testing.T) {
+	bad := DefaultRule()
+	bad.KStep = 0
+	if _, err := NewLevelTable(bad); err == nil {
+		t.Error("invalid rule accepted")
 	}
 }

@@ -222,6 +222,15 @@ type Results struct {
 	FTL ftl.Stats
 }
 
+// ReadPercentiles returns the p50/p95/p99 of recorded read response
+// times, in seconds. All zero when no reads were sampled.
+func (r Results) ReadPercentiles() (p50, p95, p99 float64) {
+	if r.ReadSample == nil || r.ReadSample.N() == 0 {
+		return 0, 0, 0
+	}
+	return r.ReadSample.Percentile(50), r.ReadSample.Percentile(95), r.ReadSample.Percentile(99)
+}
+
 // Device is the simulated SSD.
 type Device struct {
 	cfg    Config
@@ -234,7 +243,15 @@ type Device struct {
 	ageOffset []float64
 	progTime  []time.Duration
 
-	chanFree  []time.Duration // per-channel busy-until time
+	chans []channel // per-channel FIFO tail + in-flight completion heap
+	seq   uint64    // monotone op sequence; breaks completion-time ties
+	track bool      // register ops on the in-flight heaps (scheduler mode)
+
+	// levels evaluates the sensing-level rule on a cache miss. It starts
+	// as the direct bisection rule and EnableLevelTable swaps in the
+	// (provably equivalent) inverted threshold table.
+	levels func(pc float64) (levels int, ok bool)
+
 	res       Results
 	rng       *rand.Rand
 	inj       *fault.Injector // nil when fault injection is disabled
@@ -319,7 +336,150 @@ func (d *Device) compactLevelCache() {
 }
 
 // channelOf maps a physical block to its flash channel.
-func (d *Device) channelOf(block int) int { return block % len(d.chanFree) }
+func (d *Device) channelOf(block int) int { return block % len(d.chans) }
+
+// chanOp is one in-flight flash operation on a channel.
+type chanOp struct {
+	complete time.Duration
+	seq      uint64 // submission order; breaks completion-time ties
+}
+
+// opLess orders in-flight ops by (completion time, submission seq) —
+// the deterministic completion order the batched replay engine relies
+// on.
+func opLess(a, b chanOp) bool {
+	if a.complete != b.complete {
+		return a.complete < b.complete
+	}
+	return a.seq < b.seq
+}
+
+// channel is one independent flash channel: the FIFO busy-until tail
+// that decides when new work starts service, plus a min-heap of
+// in-flight operations for out-of-order completion queries (which op
+// finishes next, how many are outstanding). The heap is hand-rolled on
+// a reused backing slice — ops are pruned lazily when new work arrives
+// — so the steady-state read path allocates nothing.
+type channel struct {
+	free     time.Duration
+	inflight []chanOp
+}
+
+// push registers an op, first retiring ops already complete at now.
+func (c *channel) push(op chanOp, now time.Duration) {
+	for len(c.inflight) > 0 && c.inflight[0].complete <= now {
+		c.pop()
+	}
+	c.inflight = append(c.inflight, op)
+	i := len(c.inflight) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !opLess(c.inflight[i], c.inflight[parent]) {
+			break
+		}
+		c.inflight[i], c.inflight[parent] = c.inflight[parent], c.inflight[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest-completing op.
+func (c *channel) pop() chanOp {
+	h := c.inflight
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	c.inflight = h
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && opLess(h[l], h[small]) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && opLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+// charge occupies channel ch FIFO-style: service begins when the
+// channel frees (or at now when idle) and the channel stays busy until
+// it ends; the completion time is returned. In scheduler mode the op
+// also joins the channel's in-flight heap under a fresh sequence
+// number — the legacy serial path skips the registration so its read
+// cost stays exactly the pre-scheduler scalar update.
+func (d *Device) charge(ch int, now, service time.Duration) time.Duration {
+	c := &d.chans[ch]
+	start := now
+	if c.free > start {
+		start = c.free
+	}
+	complete := start + service
+	c.free = complete
+	if d.track {
+		d.seq++
+		c.push(chanOp{complete: complete, seq: d.seq}, now)
+	}
+	return complete
+}
+
+// InFlight returns the number of operations still outstanding at now
+// across all channels (ops that already completed are pruned). Ops are
+// only registered in scheduler mode (EnableLevelTable); outside it the
+// device always reports an empty window.
+func (d *Device) InFlight(now time.Duration) int {
+	n := 0
+	for i := range d.chans {
+		c := &d.chans[i]
+		for len(c.inflight) > 0 && c.inflight[0].complete <= now {
+			c.pop()
+		}
+		n += len(c.inflight)
+	}
+	return n
+}
+
+// NextCompletion returns the earliest completion among operations still
+// in flight at now; ok is false when every channel is idle.
+func (d *Device) NextCompletion(now time.Duration) (at time.Duration, ok bool) {
+	var best chanOp
+	for i := range d.chans {
+		c := &d.chans[i]
+		for len(c.inflight) > 0 && c.inflight[0].complete <= now {
+			c.pop()
+		}
+		if len(c.inflight) > 0 && (!ok || opLess(c.inflight[0], best)) {
+			best = c.inflight[0]
+			ok = true
+		}
+	}
+	return best.complete, ok
+}
+
+// EnableLevelTable switches the device into scheduler mode: sensing
+// levels are evaluated through the precomputed inverted threshold
+// table instead of the direct bisection rule, and every charged op is
+// registered on its channel's in-flight heap (InFlight /
+// NextCompletion). Outputs are bit-identical (sensing.LevelTable
+// provably agrees with the rule everywhere) but a level-cache miss
+// drops from ~17 binomial-tail evaluations to at most 8 float
+// comparisons. The batched replay engine enables it; the legacy serial
+// path keeps the direct rule and the untracked scalar channels.
+func (d *Device) EnableLevelTable() error {
+	tab, err := sensing.NewLevelTable(d.cfg.Rule)
+	if err != nil {
+		return err
+	}
+	d.levels = tab.RequiredLevels
+	d.track = true
+	return nil
+}
 
 // New builds a Device. berOf supplies the device-physics BER; policy the
 // read-retry behaviour.
@@ -359,7 +519,8 @@ func New(cfg Config, berOf BERFunc, policy baseline.ReadPolicy) (*Device, error)
 		// owns retirement and remapping; read faults are injected here.
 		f.Fault = inj.Fails
 	}
-	d.chanFree = make([]time.Duration, cfg.channels())
+	d.chans = make([]channel, cfg.channels())
+	d.levels = cfg.Rule.RequiredLevels
 	d.res.ReadSample = stats.NewSample(0)
 	f.OnRelocate = func(lpn uint64, oldPPN, newPPN int64) {
 		// A GC copy reprograms the data: retention age restarts.
@@ -402,9 +563,11 @@ func (d *Device) Preload(pages uint64) error {
 // regular Write path (instead of Preload) use it to start a clean
 // measured phase.
 func (d *Device) ResetMeasurement() {
-	for i := range d.chanFree {
-		d.chanFree[i] = 0
+	for i := range d.chans {
+		d.chans[i].free = 0
+		d.chans[i].inflight = d.chans[i].inflight[:0]
 	}
+	d.seq = 0
 	d.res = Results{ReadSample: stats.NewSample(0)}
 	d.faultBase = d.inj.Stats()
 	if d.berStats != nil {
@@ -463,7 +626,7 @@ func (d *Device) requiredLevelsAt(ppn int64, state ftl.BlockState, now time.Dura
 		return e.levels, e.achievable
 	}
 	d.res.LevelCache.Misses++
-	levels, achievable := d.cfg.Rule.RequiredLevels(ber)
+	levels, achievable := d.levels(ber)
 	if len(d.levelCache) >= levelCacheCap {
 		d.compactLevelCache()
 	}
@@ -528,13 +691,7 @@ func (d *Device) Read(now time.Duration, lpn uint64) (time.Duration, int) {
 		service += d.cfg.Timing.ReadLatency(l)
 	}
 	ch := d.channelOf(block)
-	start := now
-	if d.chanFree[ch] > start {
-		start = d.chanFree[ch]
-	}
-	complete := start + service
-	d.chanFree[ch] = complete
-	resp := complete - now
+	resp := d.charge(ch, now, service) - now
 
 	d.res.Reads++
 	d.res.SensingAttempts += int64(len(attempts))
@@ -606,14 +763,16 @@ func (d *Device) Write(now time.Duration, lpn uint64, state ftl.BlockState) (tim
 		case errors.Is(err, ftl.ErrWriteFailed):
 			// Program retries exhausted: the write is dropped (its old
 			// mapping survives), but the failed attempts and relocations
-			// still occupied the flash. The failing block is unknown
-			// here, so the cost lands on channel 0 — exact for the
-			// single-channel calibrated device.
+			// still occupied the flash. The cost goes to the channel
+			// owning the block that finally failed (the FTL attributes
+			// it via ftl.BlockError); only an unattributed failure falls
+			// back to channel 0.
 			d.res.WriteFailures++
-			if d.chanFree[0] < now {
-				d.chanFree[0] = now
+			ch := 0
+			if b, ok := ftl.FailedBlock(err); ok {
+				ch = d.channelOf(b)
 			}
-			d.chanFree[0] += d.opsTime(ops)
+			d.charge(ch, now, d.opsTime(ops))
 			resp := d.cfg.BufferLatency
 			d.res.WriteResp.Add(resp.Seconds())
 			d.res.OverallResp.Add(resp.Seconds())
@@ -625,12 +784,9 @@ func (d *Device) Write(now time.Duration, lpn uint64, state ftl.BlockState) (tim
 	d.progTime[ppn] = now
 
 	ch := d.channelOf(int(ppn) / d.cfg.FTL.PagesPerBlock)
-	if d.chanFree[ch] < now {
-		d.chanFree[ch] = now
-	}
-	d.chanFree[ch] += d.opsTime(ops)
+	d.charge(ch, now, d.opsTime(ops))
 
-	backlog := d.chanFree[ch] - now
+	backlog := d.chans[ch].free - now
 	allowance := time.Duration(d.cfg.BufferPages) * d.cfg.Timing.Program
 	resp := d.cfg.BufferLatency
 	if backlog > allowance {
@@ -644,7 +800,7 @@ func (d *Device) Write(now time.Duration, lpn uint64, state ftl.BlockState) (tim
 		// Static wear leveling rides along as background work.
 		const spreadThreshold = 64
 		if wlOps, did := d.ftl.LevelWear(spreadThreshold); did {
-			d.chanFree[ch] += d.opsTime(wlOps)
+			d.charge(ch, now, d.opsTime(wlOps))
 		}
 	}
 	return resp, nil
@@ -669,10 +825,7 @@ func (d *Device) Migrate(now time.Duration, lpn uint64, state ftl.BlockState) er
 	d.ageOffset[ppn] = 0
 	d.progTime[ppn] = now
 	ch := d.channelOf(int(ppn) / d.cfg.FTL.PagesPerBlock)
-	if d.chanFree[ch] < now {
-		d.chanFree[ch] = now
-	}
-	d.chanFree[ch] += d.opsTime(ops)
+	d.charge(ch, now, d.opsTime(ops))
 	return nil
 }
 
@@ -740,8 +893,9 @@ func (d *Device) Restart(now time.Duration) (ftl.RecoveryReport, error) {
 	// programs. Whatever was queued on the channels died with the power.
 	rt := time.Duration(rep.TotalReads())*d.cfg.Timing.Read +
 		time.Duration(rep.CheckpointWritePages)*d.cfg.Timing.Program
-	for i := range d.chanFree {
-		d.chanFree[i] = now + rt
+	for i := range d.chans {
+		d.chans[i].free = now + rt
+		d.chans[i].inflight = d.chans[i].inflight[:0]
 	}
 	d.res.RecoveryReads += int64(rep.TotalReads())
 	d.res.RecoveryRecords += int64(rep.RecordsReplayed)
@@ -771,8 +925,8 @@ func (d *Device) Degraded() bool { return d.ftl.Degraded() }
 // work.
 func (d *Device) Now() time.Duration {
 	var max time.Duration
-	for _, t := range d.chanFree {
-		if t > max {
+	for i := range d.chans {
+		if t := d.chans[i].free; t > max {
 			max = t
 		}
 	}

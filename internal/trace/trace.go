@@ -55,6 +55,12 @@ type Workload struct {
 	Interarrive   time.Duration
 	Requests      int
 	Seed          int64
+
+	// QueueDepth is replay metadata, not a generator parameter: the
+	// number of requests an NCQ-style host keeps outstanding when the
+	// stream is driven through the batched engine. 0 means unspecified
+	// (serial replay).
+	QueueDepth int
 }
 
 // Validate reports parameter problems.
@@ -79,6 +85,9 @@ func (w Workload) Validate() error {
 	}
 	if w.Interarrive <= 0 {
 		return fmt.Errorf("trace: %s non-positive interarrival", w.Name)
+	}
+	if w.QueueDepth < 0 {
+		return fmt.Errorf("trace: %s negative queue depth", w.Name)
 	}
 	return nil
 }
@@ -127,6 +136,21 @@ func (w Workload) Generate() ([]Request, error) {
 		lastLPN, lastPages = lpn, pages
 	}
 	return reqs, nil
+}
+
+// CloseLoop rewrites a request stream for closed-loop replay: every
+// arrival time is zeroed, so a queue-depth-bounded host submits each
+// request the moment a slot frees. Open-loop arrival spacing measures
+// latency under a fixed offered load; a closed loop instead saturates
+// the device and measures capacity — the IOPS-vs-queue-depth sweep
+// uses it. The input is not modified.
+func CloseLoop(reqs []Request) []Request {
+	out := make([]Request, len(reqs))
+	copy(out, reqs)
+	for i := range out {
+		out[i].Arrival = 0
+	}
+	return out
 }
 
 // Stats summarizes a request stream.

@@ -198,3 +198,38 @@ func TestOpString(t *testing.T) {
 		t.Error("Op strings wrong")
 	}
 }
+
+func TestCloseLoop(t *testing.T) {
+	w := Workloads(100, 1<<12, 1)[0]
+	reqs, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := CloseLoop(reqs)
+	if len(closed) != len(reqs) {
+		t.Fatalf("length changed: %d -> %d", len(reqs), len(closed))
+	}
+	for i, r := range closed {
+		if r.Arrival != 0 {
+			t.Fatalf("request %d arrival %v, want 0", i, r.Arrival)
+		}
+		if r.Op != reqs[i].Op || r.LPN != reqs[i].LPN || r.Pages != reqs[i].Pages {
+			t.Fatalf("request %d payload changed: %+v vs %+v", i, r, reqs[i])
+		}
+	}
+	if reqs[len(reqs)-1].Arrival == 0 {
+		t.Fatal("input stream mutated (or degenerate test vector)")
+	}
+}
+
+func TestQueueDepthValidation(t *testing.T) {
+	w := Workloads(100, 1<<12, 1)[0]
+	w.QueueDepth = -1
+	if w.Validate() == nil {
+		t.Error("negative queue depth accepted")
+	}
+	w.QueueDepth = 8
+	if err := w.Validate(); err != nil {
+		t.Errorf("queue depth 8 rejected: %v", err)
+	}
+}

@@ -191,6 +191,22 @@ func RequiredK(c Code, pc, target float64) (k int, ok bool) {
 	return lo, true
 }
 
+// MeetsTarget reports whether k correctable bits reach the UBER target
+// at raw BER pc. This is exactly the acceptance predicate RequiredK
+// bisects over, exported so callers holding a candidate k (e.g. an
+// inverted threshold table) can test it with a single tail evaluation
+// instead of re-running the search.
+func MeetsTarget(c Code, k int, pc, target float64) bool {
+	if target <= 0 {
+		return false
+	}
+	if pc <= 0 {
+		return true
+	}
+	logTarget := math.Log(target) + math.Log(float64(c.InfoBits))
+	return logBinomTail(c.TotalBits, k, pc) <= logTarget
+}
+
 // TargetUBER is the reliability target the paper uses for its sensing-
 // level estimation (§6.1).
 const TargetUBER = 1e-15

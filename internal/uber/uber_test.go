@@ -186,3 +186,35 @@ func TestBinomialTailAgainstDirectSum(t *testing.T) {
 		}
 	}
 }
+
+func TestMeetsTargetMatchesRequiredK(t *testing.T) {
+	c := PaperCode()
+	for _, pc := range []float64{1e-5, 1e-4, 1e-3, 4e-3, 7e-3, 1e-2, 2e-2, 5e-2, 0.2} {
+		k, ok := RequiredK(c, pc, TargetUBER)
+		if !ok {
+			t.Fatalf("RequiredK(%g) not ok", pc)
+		}
+		if !MeetsTarget(c, k, pc, TargetUBER) {
+			t.Errorf("pc=%g: RequiredK=%d but MeetsTarget(k) false", pc, k)
+		}
+		if k > 0 && MeetsTarget(c, k-1, pc, TargetUBER) {
+			t.Errorf("pc=%g: MeetsTarget(k-1=%d) true, so RequiredK=%d not minimal", pc, k-1, k)
+		}
+	}
+}
+
+func TestMeetsTargetEdges(t *testing.T) {
+	c := PaperCode()
+	if MeetsTarget(c, 100, 1e-3, 0) {
+		t.Error("non-positive target should never be met")
+	}
+	if !MeetsTarget(c, 0, 0, TargetUBER) {
+		t.Error("zero BER should meet any positive target with k=0")
+	}
+	if !MeetsTarget(c, c.TotalBits, 1, TargetUBER) {
+		t.Error("correcting every bit should meet the target even at pc=1")
+	}
+	if MeetsTarget(c, c.TotalBits-1, 1, TargetUBER) {
+		t.Error("pc=1 with k<m cannot meet the target")
+	}
+}
