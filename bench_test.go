@@ -13,6 +13,7 @@ import (
 
 	"flexlevel/internal/baseline"
 	"flexlevel/internal/bch"
+	"flexlevel/internal/calib"
 	"flexlevel/internal/core"
 	"flexlevel/internal/exp"
 	"flexlevel/internal/ftl"
@@ -484,6 +485,62 @@ func BenchmarkSSDReadCold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		d.Read(time.Duration(i)*time.Millisecond, uint64(i%4096))
 	}
+}
+
+// BenchmarkAdaptiveRead measures one simulated read end to end on a
+// calibrated adaptive device (Config.Calib enabled, every block's
+// threshold shift already converged by a warm-up pass): the steady-state
+// ladder path — per-block shift lookup, shifted-BER evaluation, warm
+// level cache — with no recalibration traffic.
+func BenchmarkAdaptiveRead(b *testing.B) {
+	cfg := ssd.DefaultConfig()
+	cfg.FTL = ftl.Config{
+		LogicalPages:  4096,
+		PagesPerBlock: 64,
+		Blocks:        88,
+		ReducedFactor: 0.75,
+		GCThreshold:   3,
+		GCTarget:      4,
+	}
+	cfg.Calib = calib.DefaultConfig()
+	// Drifted landscape: pages past 100h are unreadable at nominal
+	// references and decode cleanly within 50mV of a -120mV shift, so
+	// the warm-up pass calibrates every block once and then holds.
+	shifted := func(state ftl.BlockState, pe int, ageHours float64, shiftMv int) float64 {
+		if ageHours <= 100 {
+			return 1e-4
+		}
+		d := shiftMv + 120
+		if d < 0 {
+			d = -d
+		}
+		if d <= 50 {
+			return 1e-4
+		}
+		return 0.1
+	}
+	berOf := func(state ftl.BlockState, pe int, ageHours float64) float64 {
+		return shifted(state, pe, ageHours, 0)
+	}
+	d, err := ssd.New(cfg, berOf, baseline.NewAdaptiveRetry(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.SetShiftedBER(shifted)
+	if err := d.Preload(4096); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		d.Read(time.Duration(i)*time.Millisecond, uint64(i))
+	}
+	warm := d.Results().Recalibrations
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Read(time.Duration(i)*time.Millisecond, uint64(i%4096))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(d.Results().Recalibrations-warm), "recals-steady")
 }
 
 // BenchmarkJournalFrameEncode measures flushing one full journal frame

@@ -14,6 +14,7 @@
 //	flexlevel reliability [-faults m]  fault-injection sweep: bad blocks, degradation
 //	flexlevel crash [-crashes k] power-loss sweep: journal replay, recovery audit
 //	flexlevel throughput [-n N]  IOPS and read-latency percentiles vs queue depth 1..32
+//	flexlevel adaptive [-n N]    adaptive threshold calibration vs static references
 //	flexlevel all   [-n N]       everything above in order
 //
 // SIGINT cancels a running sweep cleanly: shards not yet started stay
@@ -39,7 +40,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|crash|throughput|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-crashes k] [-in file -format csv|msr] [-cpuprofile f] [-memprofile f] [-trace f]")
+	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|crash|throughput|adaptive|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-crashes k] [-in file -format csv|msr] [-cpuprofile f] [-memprofile f] [-trace f]")
 	os.Exit(2)
 }
 
@@ -248,6 +249,15 @@ func main() {
 			if err := writeCSV("throughput.csv", func(f *os.File) error { return exp.WriteThroughputCSV(f, rows) }); err != nil {
 				return err
 			}
+		case "adaptive":
+			rows, err := exp.Adaptive(cfg)
+			if err != nil {
+				return err
+			}
+			exp.PrintAdaptive(os.Stdout, rows)
+			if err := writeCSV("adaptive.csv", func(f *os.File) error { return exp.WriteAdaptiveCSV(f, rows) }); err != nil {
+				return err
+			}
 		default:
 			usage()
 		}
@@ -256,11 +266,11 @@ func main() {
 
 	var names []string
 	if cmd == "all" {
-		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare", "reliability", "crash", "throughput"}
+		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare", "reliability", "crash", "throughput", "adaptive"}
 	} else {
 		switch cmd {
 		case "fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations",
-			"ecc", "retshare", "replay", "reliability", "crash", "throughput":
+			"ecc", "retshare", "replay", "reliability", "crash", "throughput", "adaptive":
 		default:
 			usage() // before any profile file is created
 		}

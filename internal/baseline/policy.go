@@ -103,6 +103,93 @@ func (p *LDPCInSSD) Reset() {
 	p.mem = make(map[int]int)
 }
 
+// DefaultRetryBudget is the per-read attempt bound of AdaptiveRetry.
+const DefaultRetryBudget = 4
+
+// AdaptiveRetry is the read policy of the adaptive ladder (DESIGN.md
+// §13): per-block level memory like LDPCInSSD, but with a bounded retry
+// budget — escalation strides double so a cold block reaches any
+// requirement within Budget attempts instead of walking every level —
+// and a downward path: the device lowers a block's memory after a
+// recalibration reduces what the block needs, so memory tracks the
+// calibrated state instead of ratcheting up for the block's lifetime.
+type AdaptiveRetry struct {
+	mem map[int]int
+	// Budget bounds the attempts of one read (>= 2: the remembered
+	// level plus at least one escalation). 0 selects DefaultRetryBudget.
+	Budget int
+}
+
+// NewAdaptiveRetry returns an empty-memory policy with the given
+// per-read attempt budget (0 selects DefaultRetryBudget).
+func NewAdaptiveRetry(budget int) *AdaptiveRetry {
+	return &AdaptiveRetry{mem: make(map[int]int), Budget: budget}
+}
+
+// Name implements ReadPolicy.
+func (*AdaptiveRetry) Name() string { return "adaptive-retry" }
+
+// budget returns the effective attempt bound.
+func (p *AdaptiveRetry) budget() int {
+	if p.Budget >= 2 {
+		return p.Budget
+	}
+	return DefaultRetryBudget
+}
+
+// Attempts implements ReadPolicy.
+func (p *AdaptiveRetry) Attempts(block int, required int) []int {
+	return p.AppendAttempts(nil, block, required)
+}
+
+// AppendAttempts implements AttemptAppender: start at the remembered
+// level; on escalation the stride doubles each retry (0,1,3,7 from a
+// cold block) and the final budgeted attempt jumps straight to the
+// requirement, so the sequence always ends >= required within Budget
+// attempts.
+func (p *AdaptiveRetry) AppendAttempts(dst []int, block int, required int) []int {
+	start := p.mem[block]
+	if start >= required {
+		return append(dst, start)
+	}
+	dst = append(dst, start)
+	n, stride, lvl := 1, 1, start
+	for lvl < required {
+		if n >= p.budget()-1 || lvl+stride >= required {
+			lvl = required
+		} else {
+			lvl += stride
+			stride *= 2
+		}
+		dst = append(dst, lvl)
+		n++
+	}
+	p.mem[block] = required
+	return dst
+}
+
+// Lower drops a block's remembered level to at most level. The device
+// calls it after a recalibration shrinks the block's requirement — the
+// downward path LDPCInSSD lacks.
+func (p *AdaptiveRetry) Lower(block, level int) {
+	if level < 0 {
+		level = 0
+	}
+	if cur, ok := p.mem[block]; ok && cur > level {
+		p.mem[block] = level
+	}
+}
+
+// Forget clears a block's memory (called on erase).
+func (p *AdaptiveRetry) Forget(block int) {
+	delete(p.mem, block)
+}
+
+// Reset drops all remembered levels (called on power loss).
+func (p *AdaptiveRetry) Reset() {
+	p.mem = make(map[int]int)
+}
+
 // Oracle always senses at exactly the required level.
 type Oracle struct{}
 

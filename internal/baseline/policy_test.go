@@ -79,6 +79,56 @@ func TestOracle(t *testing.T) {
 	}
 }
 
+func TestAdaptiveRetryLadder(t *testing.T) {
+	p := NewAdaptiveRetry(4)
+	// Cold block, worst requirement: doubling strides reach 7 within the
+	// budget instead of walking all eight levels.
+	got := p.Attempts(2, 7)
+	want := []int{0, 1, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Attempts = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Attempts = %v, want %v", got, want)
+		}
+	}
+	// Memorized: single attempt.
+	if got := p.Attempts(2, 7); len(got) != 1 || got[0] != 7 {
+		t.Errorf("memorized Attempts = %v, want [7]", got)
+	}
+	// Lower: a recalibration shrank the requirement; memory follows down.
+	p.Lower(2, 1)
+	if got := p.Attempts(2, 1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Attempts after Lower = %v, want [1]", got)
+	}
+	// Lower never raises.
+	p.Lower(2, 5)
+	if got := p.Attempts(2, 1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Lower raised memory: Attempts = %v, want [1]", got)
+	}
+	if p.Name() != "adaptive-retry" {
+		t.Error("name wrong")
+	}
+}
+
+// Property: AdaptiveRetry respects its attempt budget for any block
+// state, requirement, and budget knob.
+func TestAdaptiveRetryBudget(t *testing.T) {
+	f := func(budgetRaw, memRaw, reqRaw uint8) bool {
+		budget := int(budgetRaw)%7 + 2
+		p := NewAdaptiveRetry(budget)
+		if m := int(memRaw) % 8; m > 0 {
+			p.Attempts(1, m) // seed the memory
+		}
+		got := p.Attempts(1, int(reqRaw)%8)
+		return len(got) >= 1 && len(got) <= budget
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: every policy's attempt sequence is non-empty, non-negative,
 // strictly increasing, and ends at a level >= required. (The ssd.Read
 // fast path indexes attempts[len-1] and charges each level's latency, so
@@ -87,6 +137,8 @@ func TestPolicyContract(t *testing.T) {
 	policies := []ReadPolicy{
 		FixedWorstCase{Levels: 3},
 		NewLDPCInSSD(),
+		NewAdaptiveRetry(0),
+		NewAdaptiveRetry(2),
 		Oracle{},
 	}
 	f := func(blockRaw uint8, reqRaw uint8) bool {

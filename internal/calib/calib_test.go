@@ -1,0 +1,205 @@
+package calib
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// convexEval builds an eval whose required sensing levels grow with the
+// distance from an optimal shift — the shape a drifted Vth landscape
+// presents (BER is unimodal in the reference shift). Levels above 7 are
+// unreadable.
+func convexEval(optMv, mvPerLevel int) func(int) (int, bool) {
+	return func(shiftMv int) (int, bool) {
+		d := shiftMv - optMv
+		if d < 0 {
+			d = -d
+		}
+		lev := d / mvPerLevel
+		if lev > 7 {
+			return 7, false
+		}
+		return lev, true
+	}
+}
+
+func TestCalibrateConvergesTowardOptimum(t *testing.T) {
+	cfg := DefaultConfig()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retention drift moved the distributions down ~120mV: the optimal
+	// read-reference shift is −120mV and each 40mV of error costs one
+	// extra sensing level.
+	eval := convexEval(-120, 40)
+	entryLev, _ := eval(tr.ShiftMv(3))
+	var lastLev int
+	for i := 0; i < 4; i++ {
+		probes, lev, ok := tr.Calibrate(3, eval)
+		if probes > cfg.maxProbes() {
+			t.Fatalf("round %d: %d probes, budget %d", i, probes, cfg.maxProbes())
+		}
+		if !ok {
+			t.Fatalf("round %d: unreadable at shift %dmV", i, tr.ShiftMv(3))
+		}
+		lastLev = lev
+	}
+	if lastLev > 0 {
+		t.Errorf("converged to %d levels at %dmV, want 0 near -120mV", lastLev, tr.ShiftMv(3))
+	}
+	if lastLev > entryLev {
+		t.Errorf("calibration regressed: entry %d levels, final %d", entryLev, lastLev)
+	}
+	st := tr.Stats()
+	if st.Recalibrations != 4 || st.Improvements == 0 {
+		t.Errorf("stats = %+v, want 4 recalibrations and >=1 improvement", st)
+	}
+}
+
+func TestCalibrateRescuesUnreadable(t *testing.T) {
+	tr, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unreadable at the nominal references (8+ levels needed), readable
+	// within 40mV of −80mV.
+	eval := convexEval(-80, 10)
+	if _, ok := eval(0); ok {
+		t.Fatal("test eval should be unreadable at shift 0")
+	}
+	_, lev, ok := tr.Calibrate(9, eval)
+	if !ok {
+		t.Fatalf("calibration failed to rescue: %d levels at %dmV", lev, tr.ShiftMv(9))
+	}
+	if tr.Stats().Rescues != 1 {
+		t.Errorf("rescues = %d, want 1", tr.Stats().Rescues)
+	}
+}
+
+// Property: for any optimum and any budget the search respects the
+// probe budget, the shift bound, and never leaves the block worse than
+// it entered.
+func TestCalibrateProperties(t *testing.T) {
+	f := func(optRaw int16, stepRaw, budgetRaw uint8, rounds uint8) bool {
+		cfg := Config{
+			Enabled:    true,
+			StepMv:     int(stepRaw)%120 + 5,
+			MinStepMv:  5,
+			MaxShiftMv: 300,
+			MaxProbes:  int(budgetRaw)%12 + 2,
+		}
+		if cfg.StepMv > cfg.MaxShiftMv {
+			cfg.StepMv = cfg.MaxShiftMv
+		}
+		tr, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		opt := int(optRaw) % 400
+		eval := convexEval(opt, 25)
+		prevLev, prevOK := eval(0)
+		for i := 0; i < int(rounds)%5+1; i++ {
+			probes, lev, ok := tr.Calibrate(1, eval)
+			if probes < 1 || probes > cfg.MaxProbes {
+				return false
+			}
+			s := tr.ShiftMv(1)
+			if s < -cfg.MaxShiftMv || s > cfg.MaxShiftMv {
+				return false
+			}
+			// Monotone: each round ends no worse than the last.
+			if prevOK && (!ok || lev > prevLev) {
+				return false
+			}
+			prevLev, prevOK = lev, ok
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Determinism: the same observation sequence produces the same state.
+func TestCalibrateDeterministic(t *testing.T) {
+	run := func() (int, Stats) {
+		tr, _ := New(DefaultConfig())
+		eval := convexEval(-160, 30)
+		for i := 0; i < 3; i++ {
+			tr.Calibrate(7, eval)
+		}
+		return tr.ShiftMv(7), tr.Stats()
+	}
+	s1, st1 := run()
+	s2, st2 := run()
+	if s1 != s2 || st1 != st2 {
+		t.Errorf("nondeterministic: (%d, %+v) vs (%d, %+v)", s1, st1, s2, st2)
+	}
+}
+
+func TestObserveGating(t *testing.T) {
+	tr, err := New(DefaultConfig()) // LowWater 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Observe(1, 0, true) || tr.Observe(1, 1, true) {
+		t.Error("below low-water reads must not trigger calibration")
+	}
+	if !tr.Observe(1, 2, true) {
+		t.Error("low-water read of an uncalibrated block must trigger")
+	}
+	if !tr.Observe(1, 3, false) {
+		t.Error("unreadable outcome must always trigger")
+	}
+	// After a calibration that settles at 2 levels, only further drift
+	// re-triggers.
+	tr.Calibrate(1, func(int) (int, bool) { return 2, true })
+	if tr.Observe(1, 2, true) {
+		t.Error("stable block re-triggered calibration")
+	}
+	if !tr.Observe(1, 3, true) {
+		t.Error("drift past the calibrated level must re-trigger")
+	}
+}
+
+func TestForgetAndReset(t *testing.T) {
+	tr, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Calibrate(4, convexEval(-100, 20))
+	if tr.ShiftMv(4) == 0 {
+		t.Fatal("calibration did not move the shift")
+	}
+	tr.Forget(4)
+	if tr.ShiftMv(4) != 0 || tr.TrackedBlocks() != 0 {
+		t.Error("Forget left calibration state behind")
+	}
+	tr.Calibrate(5, convexEval(-100, 20))
+	tr.Calibrate(6, convexEval(-50, 20))
+	tr.Reset()
+	if tr.TrackedBlocks() != 0 || tr.ShiftMv(5) != 0 {
+		t.Error("Reset left calibration state behind")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Enabled: true, StepMv: -1},
+		{Enabled: true, LowWater: -2},
+		{Enabled: true, StepMv: 5, MinStepMv: 10},
+		{Enabled: true, StepMv: 500, MaxShiftMv: 100},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated, want error", i)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("disabled zero config must validate: %v", err)
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config must validate: %v", err)
+	}
+}

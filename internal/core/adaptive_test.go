@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"flexlevel/internal/calib"
+	"flexlevel/internal/ftl"
+)
+
+// The shifted surface at shift 0 must route through the unshifted
+// surface bit-for-bit: an uncalibrated block on an adaptive device
+// reads exactly like a static one.
+func TestSurfaceShiftZeroBitIdentical(t *testing.T) {
+	s, err := newBERSurface("NUNMA 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, state := range []ftl.BlockState{ftl.NormalState, ftl.ReducedState} {
+		for _, pe := range []int{0, 1000, 6000} {
+			for _, age := range []float64{0, 24.5, 720} {
+				if got, want := s.BERShifted(state, pe, age, 0), s.BER(state, pe, age); got != want {
+					t.Errorf("BERShifted(%v,%d,%g,0) = %g, BER = %g", state, pe, age, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Shifted evaluations memoize: the same probe repeated is a cache hit,
+// and cached values agree with direct model evaluation.
+func TestSurfaceShiftedMemo(t *testing.T) {
+	s, err := newBERSurface("NUNMA 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.BERShifted(ftl.NormalState, 6000, 720, -120)
+	miss := s.Stats().Misses
+	b := s.BERShifted(ftl.NormalState, 6000, 720.7, -120) // same quantized age
+	if a != b {
+		t.Errorf("memoized %g != %g", a, b)
+	}
+	st := s.Stats()
+	if st.Misses != miss || st.Hits == 0 {
+		t.Errorf("repeat probe was not a cache hit: %+v", st)
+	}
+	if direct := s.normal.TotalBERShifted(6000, 720, -0.120); a != direct {
+		t.Errorf("cached %g != direct %g", a, direct)
+	}
+	// A drift-tracking negative shift recovers BER at high wear+age.
+	if a >= s.BER(ftl.NormalState, 6000, 720) {
+		t.Error("negative shift did not reduce BER under heavy drift")
+	}
+}
+
+// Enabling calibration in Options wires the full adaptive stack: the
+// tracker on the device, the adaptive policy, and the shifted surface.
+func TestRunnerWiresAdaptiveStack(t *testing.T) {
+	opts := fastOptions(LevelAdjustOnly, 6000)
+	opts.SSD.Calib = calib.DefaultConfig()
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Device().Calib() == nil {
+		t.Fatal("calibration tracker not wired")
+	}
+	m, err := r.Run(fastWorkload("web-1", t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reads == 0 {
+		t.Fatal("no reads replayed")
+	}
+	// The counters flow Device -> Results -> Metrics.
+	res := r.Device().Results()
+	if m.Recalibrations != res.Recalibrations || m.CalibProbes != res.CalibProbes ||
+		m.Unreadable != res.Unreadable || m.Refreshes != res.Refreshes {
+		t.Errorf("metrics/results counter mismatch: %+v vs %+v", m, res)
+	}
+}
+
+// With calibration disabled the runner is bit-identical to the
+// pre-adaptive code: same policies, same read path, same metrics.
+func TestRunnerWithoutCalibUnchanged(t *testing.T) {
+	run := func() Metrics {
+		r, err := NewRunner(fastOptions(LDPCInSSD, 6000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := r.Run(fastWorkload("web-1", t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m := run()
+	if m.Recalibrations != 0 || m.CalibProbes != 0 || m.CalibRescues != 0 ||
+		m.EscalatedRetirements != 0 {
+		t.Errorf("adaptive counters active without calibration: %+v", m)
+	}
+	if m2 := run(); m != m2 {
+		t.Error("runner nondeterministic")
+	}
+}

@@ -83,6 +83,14 @@ type Options struct {
 	// AccessEval parameterizes the FlexLevel controller (ignored by the
 	// other systems). Zero value = DefaultParams over the logical space.
 	AccessEval accesseval.Params
+
+	// AgedReducedPreload preconditions a LevelAdjustOnly working set
+	// through the device's aging preload (random retention ages in
+	// [0, MaxDataAgeHours]) instead of the legacy zero-age write loop.
+	// Off by default: the paper-calibrated sweeps preload reduced data
+	// ageless and their artifacts are golden-pinned; the adaptive
+	// calibration study turns this on so reduced-pool reads see drift.
+	AgedReducedPreload bool
 }
 
 // DefaultOptions returns the paper's evaluation point for a system.
@@ -126,6 +134,19 @@ type Metrics struct {
 	ReducedPages int
 
 	LevelHist [8]int64 // final sensing level per read
+
+	// Robustness outcomes: unreadable reads, in-place refreshes, and the
+	// adaptive ladder's activity (recalibrations, probes, rescues,
+	// escalated retirements). RefreshFailures counts rewrites the FTL
+	// refused.
+	Unreadable           int64
+	Refreshes            int64
+	RefreshFailures      int64
+	Recalibrations       int64
+	CalibProbes          int64
+	CalibRescues         int64
+	CalibReReads         int64
+	EscalatedRetirements int64
 
 	// Reliability outcomes (nonzero only when fault injection is on).
 	Reads               int64
@@ -191,12 +212,21 @@ func NewRunner(opts Options) (*Runner, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown system %v", opts.System)
 	}
+	if opts.SSD.Calib.Enabled {
+		// Online threshold calibration implies the adaptive retry policy:
+		// the ladder needs the bounded-budget escalation and the downward
+		// memory path, whatever the base system is.
+		policy = baseline.NewAdaptiveRetry(0)
+	}
 
 	device, err := ssd.New(opts.SSD, berOf, policy)
 	if err != nil {
 		return nil, err
 	}
 	device.SetBERCacheStats(surface.Stats)
+	if opts.SSD.Calib.Enabled {
+		device.SetShiftedBER(surface.BERShifted)
+	}
 	r := &Runner{opts: opts, device: device, berOf: berOf}
 	if opts.System == FlexLevel {
 		p := opts.AccessEval
@@ -304,6 +334,9 @@ func (r *Runner) preload(pages uint64) error {
 	if r.opts.System != LevelAdjustOnly {
 		return r.device.Preload(pages)
 	}
+	if r.opts.AgedReducedPreload {
+		return r.device.PreloadState(pages, ftl.ReducedState)
+	}
 	for lpn := uint64(0); lpn < pages; lpn++ {
 		if _, err := r.device.Write(0, lpn, ftl.ReducedState); err != nil {
 			return fmt.Errorf("core: leveladjust-only preload: %w", err)
@@ -362,6 +395,14 @@ func (r *Runner) metrics(workload string) Metrics {
 		ReducedPages:  r.device.FTL().ReducedPages(),
 	}
 	copy(m.LevelHist[:], res.LevelHist[:])
+	m.Unreadable = res.Unreadable
+	m.Refreshes = res.Refreshes
+	m.RefreshFailures = res.RefreshFailures
+	m.Recalibrations = res.Recalibrations
+	m.CalibProbes = res.CalibProbes
+	m.CalibRescues = res.CalibRescues
+	m.CalibReReads = res.CalibReReads
+	m.EscalatedRetirements = res.EscalatedRetirements
 	m.Reads = res.Reads
 	m.RetiredBlocks = res.FTL.RetiredBlocks
 	m.ProgramFailures = res.FTL.ProgramFailures

@@ -49,6 +49,19 @@ type BERSurface struct {
 	reduced *noise.BERModel
 	cache   map[int64]float64
 	stats   ssd.CacheStats
+
+	// shiftCache memoizes the drift-aware evaluations of BERShifted.
+	// Calibrated reads and probe sweeps revisit the same few shifts per
+	// (state, pe, age) point, so the shifted key space stays small; it is
+	// kept apart from the main cache so the adaptive path cannot evict
+	// the unshifted working set.
+	shiftCache map[shiftKey]float64
+}
+
+// shiftKey addresses one shifted-BER evaluation.
+type shiftKey struct {
+	base    int64 // the surfaceKey of (state, pe, ageQ)
+	shiftMv int
 }
 
 // newBERSurface builds the surface for the named reduced-state
@@ -67,9 +80,10 @@ func newBERSurface(nunmaName string) (*BERSurface, error) {
 		return nil, err
 	}
 	return &BERSurface{
-		normal:  normalModel,
-		reduced: reducedModel,
-		cache:   make(map[int64]float64),
+		normal:     normalModel,
+		reduced:    reducedModel,
+		cache:      make(map[int64]float64),
+		shiftCache: make(map[shiftKey]float64),
 	}, nil
 }
 
@@ -96,6 +110,35 @@ func (s *BERSurface) BER(state ftl.BlockState, pe int, ageHours float64) float64
 	return v
 }
 
+// BERShifted is the ssd.ShiftedBERFunc the surface exports for the
+// adaptive ladder: BER with every read reference moved by shiftMv
+// millivolts. The zero shift routes through BER itself, so an
+// uncalibrated block reads bit-identically to a device without the
+// surface's shifted path.
+func (s *BERSurface) BERShifted(state ftl.BlockState, pe int, ageHours float64, shiftMv int) float64 {
+	if shiftMv == 0 {
+		return s.BER(state, pe, ageHours)
+	}
+	ageQ := int(ageHours)
+	base, ok := surfaceKey(state, pe, ageQ)
+	if !ok {
+		return s.evalShifted(state, pe, ageQ, shiftMv)
+	}
+	key := shiftKey{base: base, shiftMv: shiftMv}
+	if v, hit := s.shiftCache[key]; hit {
+		s.stats.Hits++
+		return v
+	}
+	s.stats.Misses++
+	v := s.evalShifted(state, pe, ageQ, shiftMv)
+	if len(s.shiftCache) >= berSurfaceCap {
+		s.shiftCache = make(map[shiftKey]float64, berSurfaceCap/4)
+		s.stats.Resets++
+	}
+	s.shiftCache[key] = v
+	return v
+}
+
 // eval computes the BER directly from the state's model.
 func (s *BERSurface) eval(state ftl.BlockState, pe, ageQ int) float64 {
 	m := s.normal
@@ -103,6 +146,16 @@ func (s *BERSurface) eval(state ftl.BlockState, pe, ageQ int) float64 {
 		m = s.reduced
 	}
 	return m.TotalBER(pe, float64(ageQ))
+}
+
+// evalShifted computes the drift-aware BER directly from the state's
+// model.
+func (s *BERSurface) evalShifted(state ftl.BlockState, pe, ageQ, shiftMv int) float64 {
+	m := s.normal
+	if state == ftl.ReducedState {
+		m = s.reduced
+	}
+	return m.TotalBERShifted(pe, float64(ageQ), float64(shiftMv)/1000)
 }
 
 // Stats returns the surface's counters (ssd.Device snapshots these via

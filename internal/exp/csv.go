@@ -178,6 +178,103 @@ func parseReliabilityRow(text string) (ReliabilityRow, error) {
 	return row, nil
 }
 
+// ReadAdaptiveCSV parses a WriteAdaptiveCSV artifact back into rows.
+// The header line is required verbatim; blank lines are skipped; a
+// malformed row fails with its line number. Only the columns the
+// artifact carries are populated in the returned rows.
+func ReadAdaptiveCSV(r io.Reader) ([]AdaptiveRow, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	line := 0
+	sawHeader := false
+	var rows []AdaptiveRow
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if !sawHeader {
+			if text != adaptiveCSVHeader {
+				return nil, fmt.Errorf("exp: line %d: missing adaptive header", line)
+			}
+			sawHeader = true
+			continue
+		}
+		row, err := parseAdaptiveRow(text)
+		if err != nil {
+			return nil, fmt.Errorf("exp: line %d: %w", line, err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("exp: empty adaptive CSV")
+	}
+	return rows, nil
+}
+
+func parseAdaptiveRow(text string) (AdaptiveRow, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) != 14 {
+		return AdaptiveRow{}, fmt.Errorf("want 14 fields, have %d", len(fields))
+	}
+	var row AdaptiveRow
+	var err error
+	row.Scheme = fields[0]
+	if row.Scheme == "" {
+		return AdaptiveRow{}, fmt.Errorf("empty scheme")
+	}
+	row.Mode = fields[1]
+	if row.Mode != StaticMode && row.Mode != AdaptiveMode {
+		return AdaptiveRow{}, fmt.Errorf("bad mode %q", fields[1])
+	}
+	pe, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil || pe < 0 {
+		return AdaptiveRow{}, fmt.Errorf("bad pe %q", fields[2])
+	}
+	row.PE = int(pe)
+	floats := []struct {
+		dst  *float64
+		name string
+		idx  int
+	}{
+		{&row.AgeHours, "age_hours", 3},
+		{&row.MeanLevels, "mean_levels", 4},
+		{&row.AvgRead, "avg_read_s", 5},
+	}
+	for _, f := range floats {
+		if *f.dst, err = strconv.ParseFloat(fields[f.idx], 64); err != nil {
+			return AdaptiveRow{}, fmt.Errorf("bad %s %q", f.name, fields[f.idx])
+		}
+	}
+	if row.AgeHours < 0 {
+		return AdaptiveRow{}, fmt.Errorf("negative age_hours %q", fields[3])
+	}
+	ints := []struct {
+		dst  *int64
+		name string
+		idx  int
+	}{
+		{&row.Unreadable, "unreadable", 6},
+		{&row.Refreshes, "refreshes", 7},
+		{&row.RefreshFailures, "refresh_failures", 8},
+		{&row.Recalibrations, "recalibrations", 9},
+		{&row.CalibProbes, "calib_probes", 10},
+		{&row.CalibRescues, "calib_rescues", 11},
+		{&row.CalibReReads, "calib_rereads", 12},
+		{&row.EscalatedRetirements, "escalated_retirements", 13},
+	}
+	for _, f := range ints {
+		if *f.dst, err = strconv.ParseInt(fields[f.idx], 10, 64); err != nil || *f.dst < 0 {
+			return AdaptiveRow{}, fmt.Errorf("bad %s %q", f.name, fields[f.idx])
+		}
+	}
+	return row, nil
+}
+
 // WriteFig7CSV emits workload,write_increase,erase_increase,lifetime.
 func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
 	if _, err := fmt.Fprintln(w, "workload,write_increase,erase_increase,lifetime"); err != nil {

@@ -37,6 +37,22 @@ func addCacheCounters(s runner.Shard, level, ber ssd.CacheStats) {
 	s.AddCounter("ber_cache_resets", ber.Resets)
 }
 
+// addRobustnessCounters records a run's robustness outcomes — the
+// unreadable/refresh tallies and the adaptive ladder's activity — as
+// engine counters, so every simulation sweep's <name>_summary.json
+// reports them alongside its timing (they are zero on a healthy static
+// device, which makes any nonzero value in a summary a signal).
+func addRobustnessCounters(s runner.Shard, m core.Metrics) {
+	s.AddCounter("unreadable", m.Unreadable)
+	s.AddCounter("refreshes", m.Refreshes)
+	s.AddCounter("refresh_failures", m.RefreshFailures)
+	s.AddCounter("recalibrations", m.Recalibrations)
+	s.AddCounter("calib_probes", m.CalibProbes)
+	s.AddCounter("calib_rescues", m.CalibRescues)
+	s.AddCounter("calib_rereads", m.CalibReReads)
+	s.AddCounter("escalated_retirements", m.EscalatedRetirements)
+}
+
 // PEPoints are the P/E cycle counts of the paper's grids.
 var PEPoints = []int{2000, 3000, 4000, 5000, 6000}
 
@@ -357,6 +373,7 @@ func Fig6a(cfg SimConfig) (*Fig6aData, error) {
 			s.AddOps(int64(cfg.Requests))
 			addCacheCounters(s, m.LevelCache, m.BERCache)
 			addLatencyGauges(s, m)
+			addRobustnessCounters(s, m)
 			return RunResult{m}, nil
 		})
 	if err != nil {

@@ -12,6 +12,46 @@ import (
 // is a fixed point of parse-then-write. This pins the reader and
 // writer to the same canonical format, which the golden harness and
 // the CI determinism check both rely on.
+// FuzzReadAdaptiveCSV drives the adaptive-artifact parser with
+// arbitrary input under the same invariants as the reliability fuzzer:
+// no panics, and write∘parse is a fixed point for any accepted input.
+func FuzzReadAdaptiveCSV(f *testing.F) {
+	f.Add(adaptiveCSVHeader + "\n")
+	f.Add(adaptiveCSVHeader + "\n" +
+		"baseline-mlc,static,6000,2160,6.0704,1.403085e-03,4288,0,0,0,0,0,0,0\n")
+	f.Add(adaptiveCSVHeader + "\n" +
+		"NUNMA 1,adaptive,6000,2160,0.8041,3.450135e-04,0,0,0,110,880,75,75,0\n" +
+		"NUNMA 3,static,4000,720,0.0000,1.424000e-04,0,0,0,0,0,0,0,0\n")
+	f.Add(adaptiveCSVHeader + "\n" +
+		"x,adaptive,0,0,0,0,0,0,0,0,0,0,0,0\n")
+	f.Add(adaptiveCSVHeader + "\n" +
+		"x,retry,6000,720,0,0,0,0,0,0,0,0,0,0\n")
+	f.Add("scheme,mode\nx,static\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		rows, err := ReadAdaptiveCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := WriteAdaptiveCSV(&first, rows); err != nil {
+			t.Fatalf("write of accepted input: %v", err)
+		}
+		again, err := ReadAdaptiveCSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of written output: %v\noutput: %q", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := WriteAdaptiveCSV(&second, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("write∘parse is not idempotent:\nfirst:  %q\nsecond: %q",
+				first.String(), second.String())
+		}
+	})
+}
+
 func FuzzReadReliabilityCSV(f *testing.F) {
 	f.Add(reliabilityCSVHeader + "\n")
 	f.Add(reliabilityCSVHeader + "\n" +

@@ -111,6 +111,7 @@ func Reliability(cfg SimConfig, scales []float64) ([]ReliabilityRow, error) {
 			s.AddOps(int64(cfg.Requests))
 			addCacheCounters(s, m.LevelCache, m.BERCache)
 			addLatencyGauges(s, m)
+			addRobustnessCounters(s, m)
 			row := ReliabilityRow{Scale: c.Scale, System: c.System, Metrics: m}
 			if m.Reads > 0 {
 				row.EffectiveUBER = float64(m.DataLoss) / (float64(m.Reads) * pageBits)

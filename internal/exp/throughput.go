@@ -92,6 +92,7 @@ func Throughput(cfg SimConfig) ([]ThroughputRow, error) {
 			s.AddOps(int64(cfg.Requests))
 			addCacheCounters(s, m.LevelCache, m.BERCache)
 			addLatencyGauges(s, m)
+			addRobustnessCounters(s, m)
 			row := ThroughputRow{QD: c.QD, System: c.System, Metrics: m}
 			if m.SimTime > 0 {
 				row.IOPS = float64(cfg.Requests) / m.SimTime

@@ -764,6 +764,31 @@ func (f *FTL) appendPage(lpn uint64, state BlockState, ops *OpCount) (int64, err
 	}
 }
 
+// RetireBlock takes block b out of service on the controller's own
+// initiative — the adaptive ladder's last resort when a block stays
+// unreadable through recalibration and refresh. It is the public face
+// of the same retire path program/erase failures use: the block is
+// marked bad, its valid pages relocate, a spare backfills if one is
+// left, and the returned OpCount carries the flash work so the caller
+// can charge it. Retiring an already-bad block is a no-op.
+func (f *FTL) RetireBlock(b int) (OpCount, error) {
+	var ops OpCount
+	if b < 0 || b >= f.cfg.Blocks {
+		return ops, fmt.Errorf("ftl: retire of block %d out of range", b)
+	}
+	if f.dead {
+		return ops, ErrPowerLoss
+	}
+	if f.bad[b] {
+		return ops, nil
+	}
+	f.retire(b, &ops)
+	if f.dead {
+		return ops, fmt.Errorf("ftl: retire of block %d: %w", b, ErrPowerLoss)
+	}
+	return ops, nil
+}
+
 // retire takes block b out of service: it is marked bad, its remaining
 // valid pages are remapped to fresh blocks (remap-and-replay), and a
 // spare block — if one is left — backfills the lost capacity. With the

@@ -141,6 +141,34 @@ func (m *BERModel) TotalBER(pe int, hours float64) float64 {
 	return m.C2CBER() + m.RetentionBER(pe, hours)
 }
 
+// C2CBERShifted is C2CBER with every read reference moved by shift
+// volts (adaptive calibration).
+func (m *BERModel) C2CBERShifted(shift float64) float64 {
+	p := 0.0
+	for i := 0; i < m.Spec.NumLevels(); i++ {
+		p += m.Enc.Occupancy[i] * m.C2C.LevelErrorProbShifted(m.Spec, i, shift)
+	}
+	return m.cellErrorToBER(p)
+}
+
+// RetentionBERShifted is RetentionBER with every read reference moved
+// by shift volts.
+func (m *BERModel) RetentionBERShifted(pe int, hours, shift float64) float64 {
+	p := 0.0
+	for i := 0; i < m.Spec.NumLevels(); i++ {
+		p += m.Enc.Occupancy[i] * m.Retention.LevelErrorProbShifted(m.Spec, i, pe, hours, shift)
+	}
+	return m.cellErrorToBER(p)
+}
+
+// TotalBERShifted returns the raw BER a reader sees with every read
+// reference moved by shift volts: the drift-aware evaluation behind the
+// adaptive read-retry ladder. A downward shift trades interference
+// margin for retention margin; at shift 0 it equals TotalBER exactly.
+func (m *BERModel) TotalBERShifted(pe int, hours, shift float64) float64 {
+	return m.C2CBERShifted(shift) + m.RetentionBERShifted(pe, hours, shift)
+}
+
 // MonteCarloResult summarizes a sampled BER estimate.
 type MonteCarloResult struct {
 	Cells       int

@@ -123,6 +123,21 @@ func (m C2CModel) LevelErrorProb(spec *Spec, i int) float64 {
 	return total.Tail(spec.UpperRef(i))
 }
 
+// LevelErrorProbShifted is LevelErrorProb with every read reference
+// moved by shift volts (adaptive calibration). A downward (negative)
+// shift narrows the interference margin — the price of tracking
+// retention drift — while Vpass stays fixed, so the top level's
+// interference exposure never changes.
+func (m C2CModel) LevelErrorProbShifted(spec *Spec, i int, shift float64) float64 {
+	prog := spec.Programmed(i)
+	cshift := m.ShiftDistribution(spec)
+	total := Gaussian{
+		Mu:    prog.Mu + cshift.Mu,
+		Sigma: math.Sqrt(prog.Sigma*prog.Sigma + cshift.Sigma*cshift.Sigma + m.DisturbSigma*m.DisturbSigma),
+	}
+	return total.Tail(spec.UpperRefShifted(i, shift))
+}
+
 // SampleShift draws one aggregate interference shift. Aggressor levels
 // are drawn uniformly; the Residual compensation factor is applied.
 func (m C2CModel) SampleShift(spec *Spec, rng *rand.Rand) float64 {
@@ -199,6 +214,29 @@ func (r RetentionModel) LevelErrorProb(spec *Spec, i int, pe int, hours float64)
 		Sigma: math.Sqrt(prog.Sigma*prog.Sigma + shift.Sigma*shift.Sigma + extraVar),
 	}
 	return after.CDF(spec.LowerRef(i))
+}
+
+// LevelErrorProbShifted is LevelErrorProb with every read reference
+// moved by refShift volts: a negative refShift follows the drifting
+// distribution down, cancelling the mean charge loss and leaving only
+// the widened spread — exactly the recovery adaptive read thresholds
+// buy (Peleato et al., PAPERS.md).
+func (r RetentionModel) LevelErrorProbShifted(spec *Spec, i int, pe int, hours, refShift float64) float64 {
+	if i == 0 {
+		return 0
+	}
+	prog := spec.Programmed(i)
+	shift := r.Shift(prog.Mu, pe, hours)
+	slope := 0.0
+	if prog.Mu-r.X0.Mu > 0 {
+		slope = shift.Mu / (prog.Mu - r.X0.Mu)
+	}
+	extraVar := slope * slope * (prog.Sigma*prog.Sigma + r.X0.Sigma*r.X0.Sigma)
+	after := Gaussian{
+		Mu:    prog.Mu - shift.Mu,
+		Sigma: math.Sqrt(prog.Sigma*prog.Sigma + shift.Sigma*shift.Sigma + extraVar),
+	}
+	return after.CDF(spec.LowerRefShifted(i, refShift))
 }
 
 // SampleShift draws one retention shift for a cell with initial Vth x

@@ -92,6 +92,28 @@ func (s *Spec) UpperRef(i int) float64 {
 	return s.ReadRefs[i]
 }
 
+// LowerRefShifted returns the lower read reference of level i with all
+// read references moved by shift volts (the adaptive-calibration view:
+// a negative shift tracks downward retention drift). The erased level
+// keeps its -Inf boundary.
+func (s *Spec) LowerRefShifted(i int, shift float64) float64 {
+	if i == 0 {
+		return math.Inf(-1)
+	}
+	return s.ReadRefs[i-1] + shift
+}
+
+// UpperRefShifted returns the upper read reference of level i under a
+// calibration shift. Vpass is a physical property of the sense
+// amplifier, not a tunable reference, so the top level's boundary never
+// moves.
+func (s *Spec) UpperRefShifted(i int, shift float64) float64 {
+	if i == len(s.Levels)-1 {
+		return s.Vpass
+	}
+	return s.ReadRefs[i] + shift
+}
+
 // RetentionMargin returns the paper's retention-time noise margin for
 // level i: the voltage distance between the Vth right after programming
 // (distribution mean) and the lower read reference voltage. The erased

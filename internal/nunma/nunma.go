@@ -118,6 +118,25 @@ func BasicLevelAdjust() *noise.Spec {
 	}
 }
 
+// OptimalShift grid-searches the read-reference shift (in whole
+// millivolts, the calib package's quantum) that minimizes the total
+// drift-aware BER at the given wear and retention age. It is the
+// oracle the adaptive-ladder tests compare the online tracker against:
+// the tracker only sees decoder feedback, never this closed form.
+func OptimalShift(m *noise.BERModel, pe int, hours float64, loMv, hiMv, stepMv int) (shiftMv int, ber float64) {
+	if stepMv <= 0 {
+		stepMv = 1
+	}
+	best, bestBER := loMv, math.Inf(1)
+	for s := loMv; s <= hiMv; s += stepMv {
+		b := m.TotalBERShifted(pe, hours, float64(s)/1000)
+		if b < bestBER {
+			best, bestBER = s, b
+		}
+	}
+	return best, bestBER
+}
+
 // SearchResult is the outcome of Optimize.
 type SearchResult struct {
 	Config       Config

@@ -1,0 +1,109 @@
+package nunma
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flexlevel/internal/noise"
+	"flexlevel/internal/reducecode"
+)
+
+// shiftModels returns every spec/encoding pair the adaptive ladder runs
+// against.
+func shiftModels(t *testing.T) []*noise.BERModel {
+	t.Helper()
+	var models []*noise.BERModel
+	bm, err := noise.NewBERModel(BaselineMLC(), noise.MLCGray())
+	if err != nil {
+		t.Fatal(err)
+	}
+	models = append(models, bm)
+	for _, c := range Table3() {
+		m, err := noise.NewBERModel(c.Spec(), reducecode.Encoding())
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	return models
+}
+
+// A zero shift must reproduce the unshifted evaluation bit-for-bit:
+// the adaptive read path with calibration at its starting point may not
+// perturb any golden-pinned number.
+func TestShiftZeroBitIdentical(t *testing.T) {
+	for _, m := range shiftModels(t) {
+		for _, pt := range []struct {
+			pe    int
+			hours float64
+		}{{0, 0}, {1000, 24}, {6000, 720}, {10000, 2160}} {
+			if got, want := m.C2CBERShifted(0), m.C2CBER(); got != want {
+				t.Errorf("%s: C2CBERShifted(0) = %g, C2CBER = %g", m.Spec.Name, got, want)
+			}
+			got := m.TotalBERShifted(pt.pe, pt.hours, 0)
+			want := m.TotalBER(pt.pe, pt.hours)
+			if got != want {
+				t.Errorf("%s pe=%d h=%g: TotalBERShifted(0) = %g, TotalBER = %g",
+					m.Spec.Name, pt.pe, pt.hours, got, want)
+			}
+		}
+	}
+}
+
+// Under heavy retention drift the optimal shift is negative (references
+// follow the charge loss down) and strictly beats the static placement.
+func TestOptimalShiftTracksDrift(t *testing.T) {
+	for _, m := range shiftModels(t) {
+		shiftMv, ber := OptimalShift(m, 10000, 2160, -400, 100, 5)
+		static := m.TotalBER(10000, 2160)
+		if shiftMv >= 0 {
+			t.Errorf("%s: optimal shift %dmV under heavy drift, want negative", m.Spec.Name, shiftMv)
+		}
+		if ber >= static {
+			t.Errorf("%s: shifted BER %g does not beat static %g", m.Spec.Name, ber, static)
+		}
+	}
+}
+
+// Fresh cells have no downward drift to chase: the optimum never goes
+// negative (it may go slightly positive, trading unused retention
+// margin for interference margin) and never loses to the static BER.
+func TestOptimalShiftFreshNonNegative(t *testing.T) {
+	for _, m := range shiftModels(t) {
+		shiftMv, ber := OptimalShift(m, 100, 0.01, -400, 100, 5)
+		if shiftMv < 0 {
+			t.Errorf("%s: fresh-cell optimal shift %dmV, want >= 0", m.Spec.Name, shiftMv)
+		}
+		static := m.TotalBER(100, 0.01)
+		if ber > static {
+			t.Errorf("%s: optimum %g above static %g", m.Spec.Name, ber, static)
+		}
+	}
+}
+
+// Property: the grid optimum is never worse than the zero shift (zero
+// is always inside the grid), and shifted BERs stay valid probabilities.
+func TestPropertyOptimalShift(t *testing.T) {
+	m, err := noise.NewBERModel(BaselineMLC(), noise.MLCGray())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(peRaw uint16, hoursRaw uint16, shiftRaw int16) bool {
+		pe := int(peRaw) % 12000
+		hours := float64(int(hoursRaw) % 4400)
+		shiftMv, ber := OptimalShift(m, pe, hours, -400, 100, 10)
+		if shiftMv < -400 || shiftMv > 100 {
+			return false
+		}
+		if ber > m.TotalBER(pe, hours) {
+			return false
+		}
+		s := float64(int(shiftRaw)%400) / 1000
+		b := m.TotalBERShifted(pe, hours, s)
+		return b >= 0 && b <= 1 && !math.IsNaN(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

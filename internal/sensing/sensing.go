@@ -201,6 +201,19 @@ func (t Timing) ReadLatency(extraLevels int) time.Duration {
 	return t.Read + time.Duration(extraLevels)*t.ExtraPerLevel + t.Decode
 }
 
+// CalibrationLatency returns the cost of a read-threshold recalibration
+// that issued probes re-sense probes: each probe senses the page once at
+// a candidate reference shift and runs the decode pipeline to observe
+// the levels needed there. Extra soft levels are not charged per probe —
+// a probe is a single hard sense; the ladder pays for soft levels only
+// on the final re-read it actually serves.
+func (t Timing) CalibrationLatency(probes int) time.Duration {
+	if probes < 0 {
+		probes = 0
+	}
+	return time.Duration(probes) * (t.Read + t.Decode)
+}
+
 // Quantizer converts a sensed Vth around one read reference into an LLR
 // using extra sensing levels: L extra reference voltages spaced Delta
 // apart split the boundary region into L+1 bins, and each bin's LLR is
@@ -270,6 +283,14 @@ func clampLLR(x float64) float64 {
 		return -lim
 	}
 	return x
+}
+
+// Shifted rebuilds the quantizer with the nominal boundary (and every
+// extra sensing reference with it) moved by shift volts — the bracket a
+// calibrated read senses against. The level distributions stay put; only
+// the references move.
+func (q *Quantizer) Shifted(shift float64) (*Quantizer, error) {
+	return NewQuantizer(q.Lower, q.Upper, q.Boundary+shift, q.ExtraLevels, q.Delta)
 }
 
 // Boundaries returns the sensing reference voltages, ascending.

@@ -1,0 +1,273 @@
+package ssd
+
+import (
+	"testing"
+	"time"
+
+	"flexlevel/internal/baseline"
+	"flexlevel/internal/calib"
+	"flexlevel/internal/fault"
+	"flexlevel/internal/ftl"
+)
+
+// driftBER builds the shifted-BER fixture of a drifted Vth landscape:
+// pages older than cliffHours are unreadable at the nominal references
+// but decode cleanly once the read shift is within 50mV of -120mV.
+// Younger pages decode cleanly everywhere.
+func driftBER() (BERFunc, ShiftedBERFunc) {
+	shifted := func(state ftl.BlockState, pe int, ageHours float64, shiftMv int) float64 {
+		if ageHours <= 100 {
+			return 1e-4
+		}
+		d := shiftMv + 120
+		if d < 0 {
+			d = -d
+		}
+		if d <= 50 {
+			return 1e-4 // recovered: references track the drift
+		}
+		return 0.1 // hopeless at stale references
+	}
+	berOf := func(state ftl.BlockState, pe int, ageHours float64) float64 {
+		return shifted(state, pe, ageHours, 0)
+	}
+	return berOf, shifted
+}
+
+// newAdaptiveDevice builds a preloaded device with the adaptive ladder
+// enabled against the drifted landscape.
+func newAdaptiveDevice(t *testing.T, mutate func(*Config)) *Device {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Calib = calib.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	berOf, shifted := driftBER()
+	d, err := New(cfg, berOf, baseline.NewAdaptiveRetry(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetShiftedBER(shifted)
+	if err := d.Preload(512); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// agedVictim finds a preloaded page old enough to be unreadable at the
+// nominal references.
+func agedVictim(t *testing.T, d *Device) uint64 {
+	t.Helper()
+	for lpn := uint64(0); lpn < 512; lpn++ {
+		if _, ok := d.requiredLevels(lpn, 0); !ok {
+			return lpn
+		}
+	}
+	t.Fatal("no unreadable page despite aged preload")
+	return 0
+}
+
+func TestAdaptiveLadderRescuesDriftedPage(t *testing.T) {
+	d := newAdaptiveDevice(t, nil)
+	victim := agedVictim(t, d)
+	resp, final := d.Read(time.Second, victim)
+	res := d.Results()
+	if res.Unreadable != 0 {
+		t.Errorf("Unreadable = %d after rescue, want 0", res.Unreadable)
+	}
+	if res.CalibRescues != 1 || res.Recalibrations != 1 {
+		t.Errorf("rescues/recalibrations = %d/%d, want 1/1", res.CalibRescues, res.Recalibrations)
+	}
+	if res.CalibProbes == 0 {
+		t.Error("rescue reported without any probes")
+	}
+	if final >= 7 {
+		t.Errorf("final sensing level %d, want a clean decode after retune", final)
+	}
+	// The recalibration and re-read were charged: the response exceeds
+	// what the failed attempt ladder alone would cost.
+	if resp <= 0 {
+		t.Errorf("non-positive response %v", resp)
+	}
+	if s := d.Calib().ShiftMv(victimBlock(d, victim)); s >= 0 {
+		t.Errorf("calibrated shift %dmV, want negative (drift is downward)", s)
+	}
+	// The next read of the same block serves at the calibrated shift
+	// with no further recalibration.
+	d.Read(2*time.Second, victim)
+	res = d.Results()
+	if res.Recalibrations != 1 {
+		t.Errorf("stable block recalibrated again: %d", res.Recalibrations)
+	}
+	if res.Unreadable != 0 {
+		t.Error("calibrated block unreadable on the follow-up read")
+	}
+}
+
+func victimBlock(d *Device, lpn uint64) int {
+	ppn, _, _ := d.ftl.Lookup(lpn)
+	return int(ppn) / d.cfg.FTL.PagesPerBlock
+}
+
+// Satellite regression: a refused refresh must be counted and must not
+// lose data. Degraded mode is the deterministic way to refuse one — the
+// FTL rejects the rewrite, the ladder has nowhere to escalate (retiring
+// in degraded mode would only shrink capacity further), and the page
+// stays readable where it is.
+func TestRefreshFailureCountedInDegradedMode(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AutoRefresh = true
+	berOf := func(state ftl.BlockState, pe int, ageHours float64) float64 {
+		if ageHours > 100 {
+			return 0.1
+		}
+		return 1e-4
+	}
+	d, err := New(cfg, berOf, baseline.NewLDPCInSSD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Preload(512); err != nil {
+		t.Fatal(err)
+	}
+	// Retire empty blocks until the FTL gives up spare capacity and
+	// degrades. Blocks holding no valid data relocate nothing.
+	for b := 0; b < cfg.FTL.Blocks && !d.ftl.Degraded(); b++ {
+		if d.ftl.BadBlock(b) {
+			continue
+		}
+		if _, err := d.ftl.RetireBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.ftl.Degraded() {
+		t.Fatal("could not drive the FTL into degraded mode")
+	}
+	victim := agedVictim(t, d)
+	d.Read(time.Second, victim)
+	res := d.Results()
+	if res.Unreadable != 1 {
+		t.Fatalf("Unreadable = %d, want 1", res.Unreadable)
+	}
+	if res.Refreshes != 0 {
+		t.Errorf("Refreshes = %d in degraded mode, want 0", res.Refreshes)
+	}
+	if res.RefreshFailures != 1 {
+		t.Errorf("RefreshFailures = %d, want 1 (was dropped silently before)", res.RefreshFailures)
+	}
+	if res.EscalatedRetirements != 0 {
+		t.Errorf("EscalatedRetirements = %d in degraded mode, want 0", res.EscalatedRetirements)
+	}
+	// Zero data loss: the page is still mapped and served.
+	if !d.ftl.Mapped(victim) {
+		t.Error("refresh failure lost the page mapping")
+	}
+}
+
+// Satellite regression: when the refresh fails because the flash cannot
+// program (not because the device is degraded), the ladder escalates to
+// retiring the victim block instead of leaving data on a decaying block.
+func TestRefreshFailureEscalatesToRetirement(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AutoRefresh = true
+	// Preload issues exactly 512 program checks (512 pages, no journal,
+	// no GC at this occupancy); fail every program attempt the refresh
+	// and its retry cascade can issue afterwards.
+	var script []fault.ScriptEvent
+	for i := int64(512); i < 612; i++ {
+		script = append(script, fault.ScriptEvent{Op: fault.Program, Index: i})
+	}
+	cfg.Faults = fault.Config{Script: script}
+	berOf := func(state ftl.BlockState, pe int, ageHours float64) float64 {
+		if ageHours > 100 {
+			return 0.1
+		}
+		return 1e-4
+	}
+	d, err := New(cfg, berOf, baseline.NewLDPCInSSD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Preload(512); err != nil {
+		t.Fatal(err)
+	}
+	victim := agedVictim(t, d)
+	vb := victimBlock(d, victim)
+	d.Read(time.Second, victim)
+	res := d.Results()
+	if res.Refreshes != 0 {
+		t.Errorf("Refreshes = %d with every program failing, want 0", res.Refreshes)
+	}
+	if res.RefreshFailures != 1 {
+		t.Errorf("RefreshFailures = %d, want 1", res.RefreshFailures)
+	}
+	if res.EscalatedRetirements != 1 {
+		t.Errorf("EscalatedRetirements = %d, want 1", res.EscalatedRetirements)
+	}
+	if !d.ftl.BadBlock(vb) {
+		t.Errorf("victim block %d not retired", vb)
+	}
+	// Zero data loss: retirement relocates what it can and leaves the
+	// rest mapped in place on the (readable) bad block.
+	if !d.ftl.Mapped(victim) {
+		t.Error("escalation lost the page mapping")
+	}
+}
+
+// A device with calibration disabled is bit-identical whether or not a
+// shifted-BER hook is registered: the adaptive machinery must be
+// completely inert unless Config.Calib enables it.
+func TestDisabledCalibInert(t *testing.T) {
+	run := func(register bool) Results {
+		cfg := smallConfig()
+		berOf, shifted := driftBER()
+		d, err := New(cfg, berOf, baseline.NewLDPCInSSD())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if register {
+			d.SetShiftedBER(shifted)
+		}
+		if err := d.Preload(512); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			d.Read(time.Duration(i)*time.Millisecond, uint64(i%512))
+		}
+		return d.Results()
+	}
+	a, b := run(false), run(true)
+	if a.ReadResp != b.ReadResp || a.Unreadable != b.Unreadable ||
+		a.SensingAttempts != b.SensingAttempts || a.LevelHist != b.LevelHist {
+		t.Error("registering a shifted-BER hook perturbed a calibration-disabled device")
+	}
+	if b.Recalibrations != 0 || b.CalibProbes != 0 {
+		t.Errorf("disabled calibration recalibrated: %d/%d", b.Recalibrations, b.CalibProbes)
+	}
+}
+
+// Power loss drops the tracker (controller RAM): after Restart the
+// block recalibrates from scratch on its next read.
+func TestCrashResetsCalibration(t *testing.T) {
+	d := newAdaptiveDevice(t, func(cfg *Config) {
+		cfg.FTL.Journal = ftl.JournalConfig{Enabled: true}
+	})
+	victim := agedVictim(t, d)
+	d.Read(time.Second, victim)
+	vb := victimBlock(d, victim)
+	if d.Calib().ShiftMv(vb) == 0 {
+		t.Fatal("read did not calibrate the victim block")
+	}
+	d.Crash()
+	if _, err := d.Restart(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d.Calib().ShiftMv(vb) != 0 || d.Calib().TrackedBlocks() != 0 {
+		t.Error("calibration state survived the power loss")
+	}
+	d.Read(3*time.Second, victim)
+	if res := d.Results(); res.Recalibrations != 2 {
+		t.Errorf("Recalibrations = %d after crash, want 2 (one per boot)", res.Recalibrations)
+	}
+}

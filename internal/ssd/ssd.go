@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"flexlevel/internal/baseline"
+	"flexlevel/internal/calib"
 	"flexlevel/internal/fault"
 	"flexlevel/internal/ftl"
 	"flexlevel/internal/sensing"
@@ -24,6 +25,11 @@ import (
 // BERFunc returns the raw bit error rate of a page in a block of the
 // given state, at the block's P/E wear, after ageHours of storage.
 type BERFunc func(state ftl.BlockState, pe int, ageHours float64) float64
+
+// ShiftedBERFunc is BERFunc with the read references moved by shiftMv
+// millivolts — the drift-aware evaluation the calibration tracker
+// probes. At shiftMv 0 it must agree with the device's BERFunc exactly.
+type ShiftedBERFunc func(state ftl.BlockState, pe int, ageHours float64, shiftMv int) float64
 
 // Config parameterizes a Device.
 type Config struct {
@@ -71,6 +77,13 @@ type Config struct {
 	// read fault may trigger before the page is declared lost. 0 selects
 	// DefaultReadRetries.
 	MaxReadRetries int
+
+	// Calib configures online per-block read-threshold calibration (the
+	// adaptive read-retry ladder, DESIGN.md §13). Disabled by default;
+	// when enabled the caller must also register a ShiftedBERFunc via
+	// SetShiftedBER or calibration probes see a flat landscape and the
+	// shift never moves.
+	Calib calib.Config
 
 	Seed int64
 }
@@ -120,6 +133,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxReadRetries < 0 {
 		return fmt.Errorf("ssd: negative read-retry bound")
+	}
+	if err := c.Calib.Validate(); err != nil {
+		return err
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
@@ -178,9 +194,26 @@ type Results struct {
 
 	// Unreadable counts reads whose BER exceeded even the maximum soft
 	// sensing capability; Refreshes counts the in-place rewrites
-	// AutoRefresh performed for them.
-	Unreadable int64
-	Refreshes  int64
+	// AutoRefresh performed for them. RefreshFailures counts rewrites
+	// the FTL refused (degraded pool, no room) — previously dropped
+	// silently, now the trigger of the ladder's retirement stage.
+	Unreadable      int64
+	Refreshes       int64
+	RefreshFailures int64
+
+	// Adaptive read-retry ladder (DESIGN.md §13). Recalibrations counts
+	// background read-threshold retunes; CalibProbes the re-sense probes
+	// they issued (charged via Timing.CalibrationLatency, counted apart
+	// from SensingAttempts); CalibRescues the reads that were unreadable
+	// at the stale shift and decoded after retuning; CalibReReads the
+	// served re-senses at a freshly improved calibration.
+	// EscalatedRetirements counts blocks the ladder retired after both
+	// recalibration and refresh failed to make them readable.
+	Recalibrations       int64
+	CalibProbes          int64
+	CalibRescues         int64
+	CalibReReads         int64
+	EscalatedRetirements int64
 
 	// Fault handling and graceful degradation. Writes counts accepted
 	// user writes; WritesRejected the writes refused in degraded mode
@@ -275,6 +308,14 @@ type Device struct {
 	// last measurement reset.
 	berStats func() CacheStats
 	berBase  CacheStats
+
+	// Adaptive ladder state: the per-block threshold calibration tracker
+	// (nil unless Config.Calib.Enabled) and the shifted-BER evaluation
+	// its probes use. lower is the policy's downward-memory hook,
+	// resolved once like appender.
+	calib      *calib.Tracker
+	shiftedBER ShiftedBERFunc
+	lower      interface{ Lower(int, int) }
 }
 
 // levelCacheCap bounds the level cache; BER is a continuous input, so an
@@ -509,6 +550,16 @@ func New(cfg Config, berOf BERFunc, policy baseline.ReadPolicy) (*Device, error)
 	if ap, ok := policy.(baseline.AttemptAppender); ok {
 		d.appender = ap
 	}
+	if lp, ok := policy.(interface{ Lower(int, int) }); ok {
+		d.lower = lp
+	}
+	if cfg.Calib.Enabled {
+		tr, err := calib.New(cfg.Calib)
+		if err != nil {
+			return nil, err
+		}
+		d.calib = tr
+	}
 	if cfg.Faults.Enabled() {
 		inj, err := fault.New(cfg.Faults)
 		if err != nil {
@@ -527,11 +578,36 @@ func New(cfg Config, berOf BERFunc, policy baseline.ReadPolicy) (*Device, error)
 		d.ageOffset[newPPN] = 0
 		d.progTime[newPPN] = d.Now()
 	}
-	if forgetter, ok := policy.(interface{ Forget(int) }); ok {
-		f.OnErase = forgetter.Forget
-	}
+	d.wireOnErase(f)
 	return d, nil
 }
+
+// wireOnErase points the FTL's erase hook at whatever per-block state
+// must reset with the block: the policy's retry memory and the
+// calibration tracker's shift. With neither present the hook stays nil
+// (bit-identical to the pre-calibration wiring).
+func (d *Device) wireOnErase(f *ftl.FTL) {
+	forgetter, hasForget := d.policy.(interface{ Forget(int) })
+	switch {
+	case hasForget && d.calib != nil:
+		f.OnErase = func(b int) {
+			forgetter.Forget(b)
+			d.calib.Forget(b)
+		}
+	case hasForget:
+		f.OnErase = forgetter.Forget
+	case d.calib != nil:
+		f.OnErase = d.calib.Forget
+	}
+}
+
+// SetShiftedBER registers the drift-aware BER evaluation calibration
+// probes use. Without it an enabled tracker sees a flat landscape and
+// never moves any shift.
+func (d *Device) SetShiftedBER(fn ShiftedBERFunc) { d.shiftedBER = fn }
+
+// Calib exposes the calibration tracker (nil when disabled).
+func (d *Device) Calib() *calib.Tracker { return d.calib }
 
 // FTL exposes the underlying mapping layer (read-only use intended).
 func (d *Device) FTL() *ftl.FTL { return d.ftl }
@@ -542,12 +618,20 @@ func (d *Device) FTL() *ftl.FTL { return d.ftl }
 // only the workload. Real traces touch a fraction of the SSD; preloading
 // just the footprint keeps the spare-space dynamics faithful.
 func (d *Device) Preload(pages uint64) error {
+	return d.PreloadState(pages, ftl.NormalState)
+}
+
+// PreloadState is Preload into an arbitrary pool: experiments whose
+// working set lives entirely in the reduced (LevelAdjust) pool use it
+// to precondition with realistic retention ages, which the legacy
+// zero-age write loop those experiments used before cannot model.
+func (d *Device) PreloadState(pages uint64, state ftl.BlockState) error {
 	if pages > d.cfg.FTL.LogicalPages {
 		return fmt.Errorf("ssd: preload of %d pages exceeds logical space %d",
 			pages, d.cfg.FTL.LogicalPages)
 	}
 	for lpn := uint64(0); lpn < pages; lpn++ {
-		ppn, _, err := d.ftl.Write(lpn, ftl.NormalState)
+		ppn, _, err := d.ftl.Write(lpn, state)
 		if err != nil {
 			return fmt.Errorf("ssd: preload: %w", err)
 		}
@@ -614,11 +698,31 @@ func (d *Device) requiredLevels(lpn uint64, now time.Duration) (int, bool) {
 }
 
 // requiredLevelsAt is requiredLevels for an already-resolved mapping, so
-// the read path pays one FTL lookup instead of two.
+// the read path pays one FTL lookup instead of two. With calibration
+// enabled the page is evaluated at its block's current reference shift.
 func (d *Device) requiredLevelsAt(ppn int64, state ftl.BlockState, now time.Duration) (int, bool) {
 	block := int(ppn) / d.cfg.FTL.PagesPerBlock
 	pe := d.ftl.BlockPE(block)
-	ber := d.berOf(state, pe, d.ageHours(ppn, now))
+	return d.levelsForBER(d.pageBER(state, pe, d.ageHours(ppn, now), block))
+}
+
+// pageBER evaluates a page's raw BER at its block's calibration. The
+// zero-shift fast path goes through the unshifted BERFunc so a device
+// with calibration at its starting point stays bit-identical to one
+// without.
+func (d *Device) pageBER(state ftl.BlockState, pe int, age float64, block int) float64 {
+	if d.calib != nil && d.shiftedBER != nil {
+		if s := d.calib.ShiftMv(block); s != 0 {
+			return d.shiftedBER(state, pe, age, s)
+		}
+	}
+	return d.berOf(state, pe, age)
+}
+
+// levelsForBER answers the sensing-level rule for a raw BER through the
+// level cache. It is the shared back end of the read path and of
+// calibration probes (which feed it shifted BERs).
+func (d *Device) levelsForBER(ber float64) (int, bool) {
 	key := berKey(ber)
 	if e, ok := d.levelCache[key]; ok {
 		e.hits++
@@ -636,6 +740,14 @@ func (d *Device) requiredLevelsAt(ppn int64, state ftl.BlockState, now time.Dura
 
 // Read simulates a one-page read arriving at time now. It returns the
 // response time and the sensing level that finally succeeded.
+//
+// With calibration enabled (Config.Calib) the read runs the adaptive
+// ladder: sense at the block's calibrated references, and when the
+// decode outcome warrants it (unreadable, or drifted past the last
+// calibration) recalibrate the block's read thresholds, re-serve the
+// read at the retuned references, and — if the block still cannot
+// decode — escalate through in-place refresh to block retirement. The
+// FTL's degraded read-only mode is the ladder's terminal state.
 func (d *Device) Read(now time.Duration, lpn uint64) (time.Duration, int) {
 	if d.crashed {
 		return 0, 0 // powered off: no service until Restart
@@ -643,11 +755,13 @@ func (d *Device) Read(now time.Duration, lpn uint64) (time.Duration, int) {
 	required := 0
 	achievable := true
 	block := 0
+	var ppn int64
 	var state ftl.BlockState
 	mapped := false
-	if ppn, st, ok := d.ftl.Lookup(lpn); ok {
-		required, achievable = d.requiredLevelsAt(ppn, st, now)
-		block = int(ppn) / d.cfg.FTL.PagesPerBlock
+	if p, st, ok := d.ftl.Lookup(lpn); ok {
+		required, achievable = d.requiredLevelsAt(p, st, now)
+		block = int(p) / d.cfg.FTL.PagesPerBlock
+		ppn = p
 		state = st
 		mapped = true
 	}
@@ -690,15 +804,46 @@ func (d *Device) Read(now time.Duration, lpn uint64) (time.Duration, int) {
 	for _, l := range attempts {
 		service += d.cfg.Timing.ReadLatency(l)
 	}
-	ch := d.channelOf(block)
-	resp := d.charge(ch, now, service) - now
-
-	d.res.Reads++
-	d.res.SensingAttempts += int64(len(attempts))
+	senses := int64(len(attempts))
 	final := attempts[len(attempts)-1]
 	if final > sensing.MaxExtraLevels {
 		final = sensing.MaxExtraLevels
 	}
+
+	// Ladder stage 2 — recalibrate: when the decode outcome says the
+	// block's thresholds are stale, retune them from decoder feedback
+	// and, if that lowered (or restored) the requirement, serve the read
+	// with one final re-sense at the fresh calibration.
+	if d.calib != nil && d.shiftedBER != nil && mapped &&
+		d.calib.Observe(block, required, achievable) {
+		pe := d.ftl.BlockPE(block)
+		age := d.ageHours(ppn, now)
+		probes, lev, ok := d.calib.Calibrate(block, func(shiftMv int) (int, bool) {
+			return d.levelsForBER(d.shiftedBER(state, pe, age, shiftMv))
+		})
+		d.res.Recalibrations++
+		d.res.CalibProbes += int64(probes)
+		service += d.cfg.Timing.CalibrationLatency(probes)
+		if ok && (!achievable || lev < required) {
+			service += d.cfg.Timing.ReadLatency(lev)
+			senses++
+			d.res.CalibReReads++
+			if !achievable {
+				d.res.CalibRescues++
+			}
+			required, achievable = lev, ok
+			final = lev
+			if d.lower != nil {
+				d.lower.Lower(block, lev)
+			}
+		}
+	}
+
+	ch := d.channelOf(block)
+	resp := d.charge(ch, now, service) - now
+
+	d.res.Reads++
+	d.res.SensingAttempts += senses
 	d.res.LevelHist[final]++
 	d.res.ReadResp.Add(resp.Seconds())
 	d.res.ReadSample.Add(resp.Seconds())
@@ -707,17 +852,26 @@ func (d *Device) Read(now time.Duration, lpn uint64) (time.Duration, int) {
 	if !achievable && mapped {
 		d.res.Unreadable++
 		if d.cfg.AutoRefresh {
-			// Retention relaxation: rewrite the page in place so its
-			// age (and BER) restart. Charged as background work.
+			// Ladder stage 3 — refresh: rewrite the page in place so its
+			// age (and BER) restart. Charged as background work. A failed
+			// rewrite escalates to stage 4, block retirement, instead of
+			// being dropped silently: data on a block that can neither
+			// decode nor rewrite must move before it decays further.
 			if err := d.Migrate(now, lpn, state); err == nil {
 				d.res.Refreshes++
+			} else if !errors.Is(err, ftl.ErrPowerLoss) {
+				d.res.RefreshFailures++
+				d.escalateRetire(now, block)
 			}
 		}
 	} else if mapped && d.cfg.RefreshAboveLevels > 0 && required >= d.cfg.RefreshAboveLevels {
 		// Aggressive scrubbing: any soft-sensed page is rewritten so
-		// its next read is a hard-decision read.
+		// its next read is a hard-decision read. A refused scrub is not
+		// an emergency (the page still decodes) but is no longer silent.
 		if err := d.Migrate(now, lpn, state); err == nil {
 			d.res.Refreshes++
+		} else if !errors.Is(err, ftl.ErrPowerLoss) {
+			d.res.RefreshFailures++
 		}
 	}
 	if d.appender != nil {
@@ -725,6 +879,27 @@ func (d *Device) Read(now time.Duration, lpn uint64) (time.Duration, int) {
 		d.attemptsBuf = attempts[:0]
 	}
 	return resp, final
+}
+
+// escalateRetire is the ladder's stage 4: take the block out of service
+// through the FTL's retirement path (valid pages relocate, a spare
+// backfills) and charge the relocation work. In degraded mode the FTL
+// refuses new programs, so retirement cannot relocate — the device
+// stays in stage 5, degraded read-only, and the data remains readable
+// where it is.
+func (d *Device) escalateRetire(now time.Duration, block int) {
+	if d.ftl.Degraded() || d.ftl.BadBlock(block) {
+		return
+	}
+	ops, err := d.ftl.RetireBlock(block)
+	d.charge(d.channelOf(block), now, d.opsTime(ops))
+	if err == nil {
+		d.res.EscalatedRetirements++
+		return
+	}
+	if errors.Is(err, ftl.ErrPowerLoss) {
+		d.Crash()
+	}
 }
 
 // opsTime converts FTL operation counts into flash busy time.
@@ -878,15 +1053,16 @@ func (d *Device) Restart(now time.Duration) (ftl.RecoveryReport, error) {
 		d.ageOffset[newPPN] = 0
 		d.progTime[newPPN] = d.Now()
 	}
-	if forgetter, ok := d.policy.(interface{ Forget(int) }); ok {
-		f.OnErase = forgetter.Forget
-	}
-	// Controller RAM did not survive: the level cache and the policy's
-	// per-block sensing memory start cold.
+	d.wireOnErase(f)
+	// Controller RAM did not survive: the level cache, the policy's
+	// per-block sensing memory and the calibration tracker start cold.
 	d.levelCache = make(map[int64]*levelEntry)
 	d.res.LevelCache.Resets++
 	if r, ok := d.policy.(interface{ Reset() }); ok {
 		r.Reset()
+	}
+	if d.calib != nil {
+		d.calib.Reset()
 	}
 	// Recovery serializes the whole device: reads dominate (checkpoint
 	// pages, journal frames, the OOB scan), plus the fresh checkpoint's
