@@ -620,6 +620,72 @@ func BenchmarkReplaySerialQD1(b *testing.B) { replayBench(b, 1) }
 // sensing levels through the precomputed level table.
 func BenchmarkReplayBatchedQD8(b *testing.B) { replayBench(b, 8) }
 
+// scenarioBenchSpec is the default three-tenant mix at bench size.
+func scenarioBenchSpec(b *testing.B) trace.InterleaveSpec {
+	b.Helper()
+	logical := core.DefaultOptions(core.Baseline, 6000).SSD.FTL.LogicalPages
+	return trace.InterleaveSpec{
+		Tenants:     exp.ScenarioTenants(logical),
+		Requests:    8000,
+		Interarrive: exp.ScenarioInterarrive,
+		Seed:        1,
+	}
+}
+
+// BenchmarkScenarioInterleave measures generating and merging the
+// three-tenant scenario stream — the per-cell trace cost every point
+// of the scenario matrix pays before replay.
+func BenchmarkScenarioInterleave(b *testing.B) {
+	spec := scenarioBenchSpec(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var reqs []trace.Request
+	for i := 0; i < b.N; i++ {
+		var err error
+		reqs, err = trace.Interleave(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reqs)), "requests")
+}
+
+// BenchmarkScenarioReplayQD8 measures one scenario cell end to end:
+// the interleaved multi-tenant stream through the batched engine at
+// queue depth 8 with per-tenant attribution enabled.
+func BenchmarkScenarioReplayQD8(b *testing.B) {
+	spec := scenarioBenchSpec(b)
+	reqs, err := trace.Interleave(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var workingSet uint64
+	for _, t := range spec.Tenants {
+		if end := t.Base + t.WorkingSet; end > workingSet {
+			workingSet = end
+		}
+	}
+	opts := core.DefaultOptions(core.FlexLevel, 6000)
+	opts.SSD.Channels = exp.ScenarioChannels
+	b.ReportAllocs()
+	b.ResetTimer()
+	var m core.Metrics
+	for i := 0; i < b.N; i++ {
+		r, err := core.NewRunner(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.TrackTenants(trace.TenantNames(spec.Tenants))
+		m, err = r.RunRequestsQD("scenario", reqs, workingSet, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(m.Tenants) > 0 {
+		b.ReportMetric(m.Tenants[0].P99Read*1e6, "oltp-p99-µs")
+	}
+}
+
 // BenchmarkReliabilityParallel runs the fault-injection sweep through
 // the experiment engine with all cores and reports the engine's own
 // speedup metric (summed shard time over wall time), so the CI

@@ -15,6 +15,7 @@
 //	flexlevel crash [-crashes k] power-loss sweep: journal replay, recovery audit
 //	flexlevel throughput [-n N]  IOPS and read-latency percentiles vs queue depth 1..32
 //	flexlevel adaptive [-n N]    adaptive threshold calibration vs static references
+//	flexlevel scenario [-n N] [-tenants f]  workload-shape x fault x queue-depth x system matrix
 //	flexlevel all   [-n N]       everything above in order
 //
 // SIGINT cancels a running sweep cleanly: shards not yet started stay
@@ -40,7 +41,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|crash|throughput|adaptive|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-crashes k] [-in file -format csv|msr] [-cpuprofile f] [-memprofile f] [-trace f]")
+	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|crash|throughput|adaptive|scenario|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-crashes k] [-in file -format csv|msr] [-tenants file] [-cpuprofile f] [-memprofile f] [-trace f]")
 	os.Exit(2)
 }
 
@@ -57,6 +58,7 @@ func main() {
 	faults := fs.Float64("faults", 1, "fault-rate multiplier for the reliability sweep (0 disables injection)")
 	crashes := fs.Int("crashes", 24, "crash points for the crash subcommand")
 	inFile := fs.String("in", "", "trace file for the replay subcommand")
+	tenantsFile := fs.String("tenants", "", "tenant spec file for the scenario subcommand (default: built-in three-tenant mix)")
 	format := fs.String("format", "csv", "trace file format: csv (tracegen) or msr (MSR-Cambridge)")
 	csvDir := fs.String("csv", "", "also write plotting-friendly CSV artifacts into this directory")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -249,6 +251,19 @@ func main() {
 			if err := writeCSV("throughput.csv", func(f *os.File) error { return exp.WriteThroughputCSV(f, rows) }); err != nil {
 				return err
 			}
+		case "scenario":
+			tenants, err := loadTenants(*tenantsFile)
+			if err != nil {
+				return err
+			}
+			rows, err := exp.Scenario(cfg, tenants)
+			if err != nil {
+				return err
+			}
+			exp.PrintScenario(os.Stdout, rows)
+			if err := writeCSV("scenario.csv", func(f *os.File) error { return exp.WriteScenarioCSV(f, rows) }); err != nil {
+				return err
+			}
 		case "adaptive":
 			rows, err := exp.Adaptive(cfg)
 			if err != nil {
@@ -266,11 +281,12 @@ func main() {
 
 	var names []string
 	if cmd == "all" {
-		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare", "reliability", "crash", "throughput", "adaptive"}
+		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare", "reliability", "crash", "throughput", "adaptive", "scenario"}
 	} else {
 		switch cmd {
 		case "fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations",
-			"ecc", "retshare", "replay", "reliability", "crash", "throughput", "adaptive":
+			"ecc", "retshare", "replay", "reliability", "crash", "throughput",
+			"adaptive", "scenario":
 		default:
 			usage() // before any profile file is created
 		}
@@ -295,6 +311,24 @@ func main() {
 		}
 	}
 	prof.stop()
+}
+
+// loadTenants reads a scenario tenant spec file, or returns nil (the
+// built-in default mix) when no file is given.
+func loadTenants(path string) ([]trace.TenantSpec, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tenants, err := trace.ReadScenarioSpec(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tenants, nil
 }
 
 // replay runs a trace file through all four systems and prints the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"flexlevel/internal/calib"
@@ -98,7 +99,7 @@ func TestRunnerWithoutCalibUnchanged(t *testing.T) {
 		m.EscalatedRetirements != 0 {
 		t.Errorf("adaptive counters active without calibration: %+v", m)
 	}
-	if m2 := run(); m != m2 {
+	if m2 := run(); !reflect.DeepEqual(m, m2) {
 		t.Error("runner nondeterministic")
 	}
 }

@@ -143,6 +143,9 @@ func (r *Runner) stepAt(req trace.Request, at time.Duration) (time.Duration, err
 			done = end
 		}
 	}
+	if r.tenants != nil {
+		r.observeTenant(req, at, done)
+	}
 	return done, nil
 }
 

@@ -174,14 +174,20 @@ type Metrics struct {
 	// level cache and the BER surface behind its BERFunc.
 	LevelCache ssd.CacheStats
 	BERCache   ssd.CacheStats
+
+	// Tenants carries per-tenant request latency attribution, in the
+	// tenant order of the interleaved stream. Empty unless the runner's
+	// TrackTenants was called before the replay.
+	Tenants []TenantMetrics
 }
 
 // Runner executes workloads against one configured system.
 type Runner struct {
-	opts   Options
-	device *ssd.Device
-	ctrl   *accesseval.Controller // non-nil only for FlexLevel
-	berOf  ssd.BERFunc
+	opts    Options
+	device  *ssd.Device
+	ctrl    *accesseval.Controller // non-nil only for FlexLevel
+	berOf   ssd.BERFunc
+	tenants []*tenantTrack // per-tenant attribution, nil unless tracking
 }
 
 // NewRunner builds the system described by opts.
@@ -426,6 +432,7 @@ func (r *Runner) metrics(workload string) Metrics {
 		m.Migrations = r.ctrl.Migrations()
 		m.Evictions = r.ctrl.Evictions()
 	}
+	m.Tenants = r.tenantMetrics()
 	return m
 }
 

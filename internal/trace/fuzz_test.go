@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -36,6 +37,55 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if len(reqs) != len(again) || (len(reqs) > 0 && !reflect.DeepEqual(reqs, again)) {
 			t.Fatalf("round trip changed requests:\n in: %v\nout: %v", reqs, again)
+		}
+	})
+}
+
+// FuzzScenarioConfig drives the scenario tenant-spec parser with
+// arbitrary input. Invariants: the parser never panics; every rejection
+// is tagged ErrBadSpec; every accepted tenant set validates as an
+// interleave spec (so NaN weights, zero working sets, negative duty
+// cycles and overflowing windows can never reach the generator); and
+// any accepted input round-trips — writing the parsed tenants and
+// parsing them again yields the same tenants (WriteScenarioSpec output
+// is a canonical form that ReadScenarioSpec is closed over).
+func FuzzScenarioConfig(f *testing.F) {
+	header := "tenant,weight,model,read_ratio,zipf_s,base,working_set,mean_pages,seq_prob,duty,period_us,amplitude\n"
+	f.Add(header + "oltp,4,burst,0.8,1.3,0,4096,1.2,0.05,0.25,20000,0.5\n")
+	f.Add(header + "web,2,diurnal,0.98,1.4,2048,8192,1.5,0.05,0.5,50000,0.8\n")
+	f.Add(header + "batch,2,steady,0.45,1.1,8192,4096,2.5,0.3,0,0,0\n")
+	f.Add(header + "a,1,steady,NaN,1.2,0,16,1,0,0,0,0\n")
+	f.Add(header + "a,1,steady,0.5,+Inf,0,16,1,0,0,0,0\n")
+	f.Add(header + "a,-1,steady,0.5,1.2,0,16,1,0,0,0,0\n")
+	f.Add(header + "a,1,burst,0.5,1.2,0,16,1,0,2,1000,0\n")
+	f.Add(header + "a,1,steady,0.5,1.2,18446744073709551615,16,1,0,0,0,0\n")
+	f.Add(header + "a,1,steady,0.5,1.2,0,16,1,0,0,99999999999999999999,0\n")
+	f.Add(header + "a,1,steady,0.5,1.2,0,16,1,0,0,0,0\na,1,steady,0.5,1.2,0,16,1,0,0,0,0\n")
+	f.Add(header)
+	f.Add("no header\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		tenants, err := ReadScenarioSpec(strings.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("rejection not tagged ErrBadSpec: %v", err)
+			}
+			return
+		}
+		spec := InterleaveSpec{Tenants: tenants, Requests: 1, Interarrive: 1}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted tenants fail interleave validation: %v\ninput: %q", err, data)
+		}
+		var buf bytes.Buffer
+		if err := WriteScenarioSpec(&buf, tenants); err != nil {
+			t.Fatalf("WriteScenarioSpec of accepted input: %v", err)
+		}
+		again, err := ReadScenarioSpec(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of written output: %v\noutput: %q", err, buf.String())
+		}
+		if !reflect.DeepEqual(tenants, again) {
+			t.Fatalf("round trip changed tenants:\n in: %+v\nout: %+v", tenants, again)
 		}
 	})
 }

@@ -9,6 +9,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 )
@@ -36,6 +37,9 @@ type Request struct {
 	Op      Op
 	LPN     uint64 // first logical page
 	Pages   int    // size in pages
+	// Tenant indexes the originating stream of an interleaved
+	// multi-tenant trace (see Interleave); 0 for single-tenant traces.
+	Tenant int
 }
 
 // Workload parameterizes a synthetic trace generator.
@@ -56,6 +60,12 @@ type Workload struct {
 	Requests      int
 	Seed          int64
 
+	// Arrivals optionally replaces the default steady-Poisson arrival
+	// process with a shaped one (burst, diurnal — see ArrivalModel).
+	// nil keeps the legacy exponential-gap behaviour around
+	// Interarrive, draw for draw.
+	Arrivals ArrivalModel
+
 	// QueueDepth is replay metadata, not a generator parameter: the
 	// number of requests an NCQ-style host keeps outstanding when the
 	// stream is driven through the batched engine. 0 means unspecified
@@ -63,21 +73,24 @@ type Workload struct {
 	QueueDepth int
 }
 
-// Validate reports parameter problems.
+// Validate reports parameter problems. The float comparisons are
+// written in accepting form (!(x in range)) so NaN parameters — which
+// compare false against everything and used to slip through the
+// rejecting form — are refused too.
 func (w Workload) Validate() error {
-	if w.ReadRatio < 0 || w.ReadRatio > 1 {
+	if !(w.ReadRatio >= 0 && w.ReadRatio <= 1) {
 		return fmt.Errorf("trace: %s read ratio %g out of [0,1]", w.Name, w.ReadRatio)
 	}
-	if w.ZipfS <= 1 {
-		return fmt.Errorf("trace: %s zipf s %g must exceed 1", w.Name, w.ZipfS)
+	if !(w.ZipfS > 1) || math.IsInf(w.ZipfS, 0) {
+		return fmt.Errorf("trace: %s zipf s %g must be finite and exceed 1", w.Name, w.ZipfS)
 	}
 	if w.WorkingSet == 0 {
 		return fmt.Errorf("trace: %s empty working set", w.Name)
 	}
-	if w.MeanPages < 1 {
-		return fmt.Errorf("trace: %s mean pages %g below 1", w.Name, w.MeanPages)
+	if !(w.MeanPages >= 1) || math.IsInf(w.MeanPages, 0) {
+		return fmt.Errorf("trace: %s mean pages %g must be finite and at least 1", w.Name, w.MeanPages)
 	}
-	if w.SeqProb < 0 || w.SeqProb >= 1 {
+	if !(w.SeqProb >= 0 && w.SeqProb < 1) {
 		return fmt.Errorf("trace: %s seq prob %g out of [0,1)", w.Name, w.SeqProb)
 	}
 	if w.Requests <= 0 {
@@ -89,10 +102,18 @@ func (w Workload) Validate() error {
 	if w.QueueDepth < 0 {
 		return fmt.Errorf("trace: %s negative queue depth", w.Name)
 	}
+	if w.Arrivals != nil {
+		if err := w.Arrivals.Validate(); err != nil {
+			return fmt.Errorf("trace: %s arrivals: %w", w.Name, err)
+		}
+	}
 	return nil
 }
 
 // Generate produces the deterministic request stream for the workload.
+// Every emitted request is guaranteed inside the working set with at
+// least one page; a violation (a generator bug, not an input problem)
+// surfaces as an error rather than corrupting a replay.
 func (w Workload) Generate() ([]Request, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
@@ -104,8 +125,13 @@ func (w Workload) Generate() ([]Request, error) {
 	var lastLPN uint64
 	var lastPages int
 	for i := 0; i < w.Requests; i++ {
-		// Exponential interarrival around the mean.
-		clock += time.Duration(rng.ExpFloat64() * float64(w.Interarrive))
+		// Interarrival gap: the configured arrival model, or the legacy
+		// exponential gap around the mean.
+		if w.Arrivals != nil {
+			clock += w.Arrivals.Gap(rng, clock)
+		} else {
+			clock += time.Duration(rng.ExpFloat64() * float64(w.Interarrive))
+		}
 		op := Write
 		if rng.Float64() < w.ReadRatio {
 			op = Read
@@ -125,17 +151,49 @@ func (w Workload) Generate() ([]Request, error) {
 		for rng.Float64() < p && pages < 64 {
 			pages++
 		}
-		if lpn+uint64(pages) > w.WorkingSet {
-			pages = int(w.WorkingSet - lpn)
-			if pages < 1 {
-				pages = 1
-				lpn = w.WorkingSet - 1
-			}
-		}
+		pages = clampPages(lpn, pages, w.WorkingSet)
 		reqs = append(reqs, Request{Arrival: clock, Op: op, LPN: lpn, Pages: pages})
 		lastLPN, lastPages = lpn, pages
 	}
+	if err := CheckStream(reqs, w.WorkingSet); err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", w.Name, err)
+	}
 	return reqs, nil
+}
+
+// clampPages bounds a request tail to its working set. The comparison
+// is overflow-safe: the previous form (lpn+pages > ws) wrapped around
+// uint64 for page runs near the top of a full-range working set and
+// let the request spill past the set — the remainder ws-lpn never
+// overflows because generated LPNs are always inside the set.
+func clampPages(lpn uint64, pages int, ws uint64) int {
+	if rem := ws - lpn; uint64(pages) > rem {
+		return int(rem)
+	}
+	return pages
+}
+
+// CheckStream verifies the well-formedness invariants every generated
+// (and interleaved) stream must satisfy: arrivals non-decreasing,
+// at least one page per request, and — when ws is nonzero — every
+// request inside [0, ws). Replay engines assume these; the generators
+// enforce them so a shaping bug fails loudly instead of replaying a
+// corrupt stream.
+func CheckStream(reqs []Request, ws uint64) error {
+	var prev time.Duration
+	for i, r := range reqs {
+		if r.Arrival < prev {
+			return fmt.Errorf("request %d: arrival %v before predecessor %v", i, r.Arrival, prev)
+		}
+		prev = r.Arrival
+		if r.Pages < 1 {
+			return fmt.Errorf("request %d: %d pages", i, r.Pages)
+		}
+		if ws > 0 && (r.LPN >= ws || uint64(r.Pages) > ws-r.LPN) {
+			return fmt.Errorf("request %d: [%d, +%d) outside working set %d", i, r.LPN, r.Pages, ws)
+		}
+	}
+	return nil
 }
 
 // CloseLoop rewrites a request stream for closed-loop replay: every
