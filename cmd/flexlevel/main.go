@@ -18,6 +18,15 @@
 //	flexlevel scenario [-n N] [-tenants f]  workload-shape x fault x queue-depth x system matrix
 //	flexlevel all   [-n N]       everything above in order
 //
+// Beyond the one-shot experiments, serve runs the simulated SSD as a
+// long-running multi-tenant block service and load drives it:
+//
+//	flexlevel serve [-addr :8077] [-tenants f] [-qd 8] [-slo d] ...
+//	flexlevel load  [-url u] [-n 100000] [-gate] [-json] ...
+//
+// serve drains cleanly on SIGTERM (stop admitting, finish in-flight,
+// flush the final metrics snapshot); see cmd/flexlevel/serve.go.
+//
 // SIGINT cancels a running sweep cleanly: shards not yet started stay
 // unrun and the partial engine summary is still written (with -csv).
 //
@@ -42,6 +51,8 @@ import (
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|crash|throughput|adaptive|scenario|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-crashes k] [-in file -format csv|msr] [-tenants file] [-cpuprofile f] [-memprofile f] [-trace f]")
+	fmt.Fprintln(os.Stderr, "       flexlevel serve [-addr a] [-tenants f] [-qd d] [-rate r] [-slo d] [-deadline d] [-faults m] [-crash-at n] [-auto-restart] [-snapshot f]")
+	fmt.Fprintln(os.Stderr, "       flexlevel load  [-url u] [-n requests] [-tenants f] [-workers w] [-readratio r] [-gate] [-json]")
 	os.Exit(2)
 }
 
@@ -50,6 +61,20 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	// serve and load have their own flag surfaces; dispatch before the
+	// shared experiment flag set.
+	switch cmd {
+	case "serve", "load":
+		run := serveCmd
+		if cmd == "load" {
+			run = loadCmd
+		}
+		if err := run(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "flexlevel:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	n := fs.Int("n", 60000, "requests per workload for system experiments")
 	seed := fs.Int64("seed", 1, "master seed: workload generation and per-shard derived seeds")

@@ -4,6 +4,13 @@
 //
 //	tracegen -w fin-2 -n 100000 > fin2.csv
 //	tracegen -list
+//
+// With -tenants N it instead emits a scenario-spec CSV of N tenants
+// (the canonical trio first, then derived variants), the format
+// `flexlevel scenario -spec` and `flexlevel serve -tenants` consume —
+// one shared tenant vocabulary across the tools.
+//
+//	tracegen -tenants 3 > tenants.csv
 package main
 
 import (
@@ -21,7 +28,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	summary := flag.Bool("summary", false, "print workload statistics instead of the trace")
+	tenants := flag.Int("tenants", 0, "emit a scenario-spec CSV of this many tenants instead of a trace")
 	flag.Parse()
+
+	if *tenants > 0 {
+		specs := trace.SampleTenants(*tenants, *ws)
+		for _, t := range specs {
+			if err := t.Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+		}
+		if err := trace.WriteScenarioSpec(os.Stdout, specs); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, w := range trace.Workloads(*n, *ws, *seed) {

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -82,12 +83,28 @@ func popCompletion(h *[]completion) completion {
 // back-to-back (closed loop at depth 1). The usual Prepare/Finish
 // bracket applies, as with Step.
 func (r *Runner) StepBatch(reqs []trace.Request, qd int) error {
+	return r.StepBatchCtx(nil, reqs, qd)
+}
+
+// StepBatchCtx is StepBatch with cancellation: the event loop checks ctx
+// before every request, so a deadline, SIGINT or server drain stops a
+// batched replay mid-flight instead of only between runner.Map shards.
+// On cancellation the context's error is returned and the device keeps
+// the requests replayed so far (Finish still yields a consistent partial
+// metric set). A nil ctx never cancels and adds no per-request cost
+// beyond one pointer test.
+func (r *Runner) StepBatchCtx(ctx context.Context, reqs []trace.Request, qd int) error {
 	if qd < 1 {
 		qd = 1
 	}
 	pending := make([]completion, 0, qd)
 	seq := uint64(0)
 	for _, req := range reqs {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		submit := req.Arrival
 		if len(pending) >= qd {
 			// The window is full: this request waits for the earliest
@@ -155,14 +172,39 @@ func (r *Runner) stepAt(req trace.Request, at time.Duration) (time.Duration, err
 // instead of a binomial-tail search), and replays the stream with up to
 // qd requests outstanding.
 func (r *Runner) RunRequestsQD(name string, reqs []trace.Request, workingSet uint64, qd int) (Metrics, error) {
-	if err := r.device.EnableLevelTable(); err != nil {
+	return r.RunRequestsQDCtx(nil, name, reqs, workingSet, qd)
+}
+
+// RunRequestsQDCtx is RunRequestsQD with mid-replay cancellation (see
+// StepBatchCtx). A cancelled replay returns the context's error; the
+// metrics of the completed prefix remain available through Finish.
+func (r *Runner) RunRequestsQDCtx(ctx context.Context, name string, reqs []trace.Request, workingSet uint64, qd int) (Metrics, error) {
+	if err := r.EnableScheduler(); err != nil {
 		return Metrics{}, err
 	}
 	if err := r.Prepare(reqs, workingSet); err != nil {
 		return Metrics{}, err
 	}
-	if err := r.StepBatch(reqs, qd); err != nil {
+	if err := r.StepBatchCtx(ctx, reqs, qd); err != nil {
 		return Metrics{}, err
 	}
 	return r.Finish(name), nil
+}
+
+// EnableScheduler switches the device into scheduler mode (inverted
+// sensing-level table + per-channel in-flight tracking). RunRequestsQD
+// does this implicitly; long-running drivers that issue requests one at
+// a time through StepAt (the serve daemon) call it once at startup.
+func (r *Runner) EnableScheduler() error {
+	return r.device.EnableLevelTable()
+}
+
+// StepAt replays one request submitted at time at — which under
+// queue-depth batching or a live server's admission queue may be later
+// than its recorded arrival — and returns the completion time of the
+// request's last page. It is the single-request surface of the batched
+// event loop, exported for drivers that compute submit times themselves
+// (per-tenant queue-depth windows in the serve daemon).
+func (r *Runner) StepAt(req trace.Request, at time.Duration) (time.Duration, error) {
+	return r.stepAt(req, at)
 }

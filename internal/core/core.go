@@ -162,6 +162,15 @@ type Metrics struct {
 	DataLoss            int64
 	Degraded            bool
 
+	// Admission-control outcomes (nonzero only under a driver that sheds
+	// load or enforces deadlines, e.g. the serve daemon). Shed counts
+	// requests rejected before reaching the device; DeadlineExceeded
+	// counts queued requests cancelled because their deadline passed
+	// before submission. Neither class ever produces a latency sample, so
+	// the response-time percentiles above cover admitted requests only.
+	Shed             int64
+	DeadlineExceeded int64
+
 	// Crash recovery (nonzero only when power-loss injection is on and
 	// the caller drove Restart through the device).
 	Crashes         int64
@@ -188,6 +197,13 @@ type Runner struct {
 	ctrl    *accesseval.Controller // non-nil only for FlexLevel
 	berOf   ssd.BERFunc
 	tenants []*tenantTrack // per-tenant attribution, nil unless tracking
+
+	// Admission outcomes recorded via CountShed/CountDeadlineExceeded.
+	// Kept apart from the latency accumulators by construction: a
+	// rejected request has no completion, so it must never move a
+	// percentile (see TestShedDoesNotMovePercentiles).
+	shed             int64
+	deadlineExceeded int64
 }
 
 // NewRunner builds the system described by opts.
@@ -421,6 +437,8 @@ func (r *Runner) metrics(workload string) Metrics {
 	m.ReadRetries = res.ReadRetries
 	m.DataLoss = res.DataLoss
 	m.Degraded = r.device.Degraded()
+	m.Shed = r.shed
+	m.DeadlineExceeded = r.deadlineExceeded
 	m.Crashes = res.Crashes
 	m.InFlightLost = res.InFlightLost
 	m.RecoveryReads = res.RecoveryReads

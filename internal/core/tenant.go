@@ -26,6 +26,12 @@ type TenantMetrics struct {
 	P50Read  float64
 	P95Read  float64
 	P99Read  float64
+
+	// Admission outcomes attributed to this tenant (serve daemon).
+	// Rejected requests are counted here and nowhere else: they have no
+	// completion, so they never contribute a latency sample above.
+	Shed             int64
+	DeadlineExceeded int64
 }
 
 // tenantTrack accumulates one tenant's request latencies during replay.
@@ -33,6 +39,8 @@ type tenantTrack struct {
 	name     string
 	requests int64
 	writes   int64
+	shed     int64
+	deadline int64
 	reads    *stats.Sample
 }
 
@@ -65,6 +73,28 @@ func (r *Runner) observeTenant(req trace.Request, at, done time.Duration) {
 	}
 }
 
+// CountShed records a load-shed request — rejected by admission control
+// before reaching the device — against the runner and, when tracking is
+// enabled and the index is in range, against its tenant. Shed requests
+// deliberately produce no latency sample: percentiles describe admitted
+// traffic only.
+func (r *Runner) CountShed(tenant int) {
+	r.shed++
+	if tenant >= 0 && tenant < len(r.tenants) {
+		r.tenants[tenant].shed++
+	}
+}
+
+// CountDeadlineExceeded records a queued request cancelled because its
+// deadline passed before it could be submitted. Like CountShed, it adds
+// no latency sample.
+func (r *Runner) CountDeadlineExceeded(tenant int) {
+	r.deadlineExceeded++
+	if tenant >= 0 && tenant < len(r.tenants) {
+		r.tenants[tenant].deadline++
+	}
+}
+
 // tenantMetrics snapshots the per-tenant accumulators.
 func (r *Runner) tenantMetrics() []TenantMetrics {
 	if len(r.tenants) == 0 {
@@ -73,14 +103,16 @@ func (r *Runner) tenantMetrics() []TenantMetrics {
 	out := make([]TenantMetrics, len(r.tenants))
 	for i, t := range r.tenants {
 		out[i] = TenantMetrics{
-			Name:     t.name,
-			Requests: t.requests,
-			Reads:    int64(t.reads.N()),
-			Writes:   t.writes,
-			AvgRead:  t.reads.Mean(),
-			P50Read:  t.reads.Percentile(50),
-			P95Read:  t.reads.Percentile(95),
-			P99Read:  t.reads.Percentile(99),
+			Name:             t.name,
+			Requests:         t.requests,
+			Reads:            int64(t.reads.N()),
+			Writes:           t.writes,
+			AvgRead:          t.reads.Mean(),
+			P50Read:          t.reads.Percentile(50),
+			P95Read:          t.reads.Percentile(95),
+			P99Read:          t.reads.Percentile(99),
+			Shed:             t.shed,
+			DeadlineExceeded: t.deadline,
 		}
 	}
 	return out

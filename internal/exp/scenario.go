@@ -46,33 +46,12 @@ const ScenarioInterarrive = 500 * time.Microsecond
 // ScenarioAllTenant labels the whole-device row of each cell.
 const ScenarioAllTenant = "all"
 
-// ScenarioTenants returns the default tenant mix, sized against the
-// device's logical space: a heavy skewed OLTP tenant, a read-dominant
-// web tenant and a write-heavy sequential batch tenant. The windows
-// deliberately overlap — web straddles both neighbours — so tenants
-// contend for the same reduced-pool candidates, not just channels.
+// ScenarioTenants returns the default tenant mix (the canonical trio
+// in trace.DefaultTenants), sized against the device's logical space.
+// The serve daemon and `tracegen -tenants` share the same definitions,
+// so a spec file produced by one tool drives the others unchanged.
 func ScenarioTenants(logicalPages uint64) []trace.TenantSpec {
-	quarter := logicalPages / 4
-	return []trace.TenantSpec{
-		{
-			Name: "oltp", Weight: 4, Model: trace.BurstModel,
-			ReadRatio: 0.82, ZipfS: 1.30, Base: 0, WorkingSet: quarter,
-			MeanPages: 1.2, SeqProb: 0.05,
-			Duty: 0.25, Period: 250 * time.Millisecond, Amplitude: 0.5,
-		},
-		{
-			Name: "web", Weight: 2, Model: trace.DiurnalModel,
-			ReadRatio: 0.98, ZipfS: 1.40, Base: logicalPages / 8, WorkingSet: logicalPages / 2,
-			MeanPages: 1.5, SeqProb: 0.05,
-			Duty: 0.5, Period: 500 * time.Millisecond, Amplitude: 0.8,
-		},
-		{
-			Name: "batch", Weight: 2, Model: trace.SteadyModel,
-			ReadRatio: 0.45, ZipfS: 1.10, Base: logicalPages / 2, WorkingSet: quarter,
-			MeanPages: 2.5, SeqProb: 0.30,
-			Duty: 0.5, Period: 250 * time.Millisecond, Amplitude: 0.5,
-		},
-	}
+	return trace.DefaultTenants(logicalPages)
 }
 
 // shapeTenants returns the tenant set with every arrival model forced
@@ -203,7 +182,9 @@ func Scenario(cfg SimConfig, tenants []trace.TenantSpec) ([]ScenarioRow, error) 
 				return nil, err
 			}
 			r.TrackTenants(trace.TenantNames(shaped))
-			m, err := r.RunRequestsQD("scenario", reqs, workingSet, c.QD)
+			// cfg.Ctx propagates into the event loop, so SIGINT stops a
+			// cell mid-replay instead of only between shards.
+			m, err := r.RunRequestsQDCtx(cfg.Ctx, "scenario", reqs, workingSet, c.QD)
 			if err != nil {
 				return nil, fmt.Errorf("exp: scenario shape=%s faults=%g qd=%d under %v: %w",
 					c.Shape, c.Scale, c.QD, c.System, err)

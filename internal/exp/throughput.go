@@ -85,7 +85,7 @@ func Throughput(cfg SimConfig) ([]ThroughputRow, error) {
 			if err != nil {
 				return ThroughputRow{}, err
 			}
-			m, err := r.RunRequestsQD(w.Name, trace.CloseLoop(reqs), w.WorkingSet, c.QD)
+			m, err := r.RunRequestsQDCtx(cfg.Ctx, w.Name, trace.CloseLoop(reqs), w.WorkingSet, c.QD)
 			if err != nil {
 				return ThroughputRow{}, fmt.Errorf("exp: throughput qd=%d under %v: %w", c.QD, c.System, err)
 			}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyRingWindow: the ring holds at most its capacity, and once
+// full the percentiles describe the newest observations only — the
+// sliding window /metrics reports.
+func TestLatencyRingWindow(t *testing.T) {
+	r := newLatencyRing(8)
+	p50, p95, p99, mean := r.percentiles()
+	if p50 != 0 || p95 != 0 || p99 != 0 || mean != 0 {
+		t.Fatal("empty ring answers nonzero percentiles")
+	}
+	// Fill with a slow epoch, then overwrite with a fast one.
+	for i := 0; i < 8; i++ {
+		r.add(100)
+	}
+	for i := 0; i < 8; i++ {
+		r.add(1)
+	}
+	p50, p95, p99, mean = r.percentiles()
+	if p50 != 1 || p95 != 1 || p99 != 1 || mean != 1 {
+		t.Fatalf("ring still remembers the old epoch: p50=%g p95=%g p99=%g mean=%g",
+			p50, p95, p99, mean)
+	}
+	// Partial fill keeps exact values.
+	r2 := newLatencyRing(100)
+	for i := 1; i <= 10; i++ {
+		r2.add(float64(i))
+	}
+	if _, _, p99, _ := r2.percentiles(); p99 != 9 {
+		t.Fatalf("partial ring p99 = %g, want 9 (index floor of 99%% of 9)", p99)
+	}
+}
+
+// TestConfigDefaults: a zero config resolves every knob, and explicit
+// values survive.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.QueueDepth != DefaultQueueDepth || c.MaxQueue != DefaultMaxQueue ||
+		c.SimGap != DefaultSimGap || c.RingSize != DefaultRingSize ||
+		c.SampleCap != DefaultSampleCap || c.MetricsEvery != DefaultMetricsEvery ||
+		c.MaxPages != DefaultMaxPages {
+		t.Fatalf("zero config resolved to %+v", c)
+	}
+	if c.Burst != 0 {
+		t.Fatal("burst set without a rate")
+	}
+	c = Config{Rate: 100, QueueDepth: 3, SimGap: time.Millisecond}.withDefaults()
+	if c.Burst != 100 || c.QueueDepth != 3 || c.SimGap != time.Millisecond {
+		t.Fatalf("explicit knobs lost: %+v", c)
+	}
+	// A sub-1 rate still gets a usable bucket.
+	if c := (Config{Rate: 0.5}).withDefaults(); c.Burst != 1 {
+		t.Fatalf("fractional rate burst = %g, want 1", c.Burst)
+	}
+}
+
+// TestServerRejectsBadTenants: invalid and duplicate tenant specs fail
+// construction instead of serving a broken namespace.
+func TestServerRejectsBadTenants(t *testing.T) {
+	bad := testTenants()
+	bad[1].Name = bad[0].Name
+	if _, err := New(Config{FTL: smallFTL(), Tenants: bad}); err == nil {
+		t.Fatal("duplicate tenant names accepted")
+	}
+	bad = testTenants()
+	bad[0].WorkingSet = 0
+	if _, err := New(Config{FTL: smallFTL(), Tenants: bad}); err == nil {
+		t.Fatal("empty working set accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"flexlevel/internal/core"
+)
+
+// TestLoadClosedLoop: the load generator completes its budget against a
+// live server with zero unexpected statuses, its per-tenant ack audit
+// holds (dense sequences: max == count, no duplicates), and the
+// server's own counters agree with the client's.
+func TestLoadClosedLoop(t *testing.T) {
+	s, hs := newTestServer(t, Config{System: core.FlexLevel, PE: 5000, Seed: 37})
+	res, err := Load(LoadConfig{
+		BaseURL: hs.URL,
+		Tenants: []LoadTenant{
+			{Name: "alpha", Requests: 400, Window: 1024},
+			{Name: "beta", Requests: 200, Window: 1024},
+		},
+		Workers:   4,
+		ReadRatio: 0.7,
+		Seed:      1,
+		Client:    hs.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 600 {
+		t.Fatalf("completed %d/600 ops (failed=%d bad=%d)", res.OK, res.Failed, res.BadStatus)
+	}
+	if res.Status5xx != 0 || res.BadStatus != 0 {
+		t.Fatalf("unexpected statuses: 5xx=%d bad=%d", res.Status5xx, res.BadStatus)
+	}
+	if res.SeqDuplicates != 0 {
+		t.Fatalf("%d duplicate ack sequences", res.SeqDuplicates)
+	}
+	for name, max := range res.MaxSeq {
+		if acks := res.WriteAcks[name]; max != uint64(acks) {
+			t.Fatalf("tenant %s: max ack seq %d != acked writes %d (sequences not dense)",
+				name, max, acks)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Admitted != res.OK {
+		t.Fatalf("server admitted %d, client completed %d", snap.Admitted, res.OK)
+	}
+	if snap.Writes != res.WriteOK || snap.Reads != res.ReadOK {
+		t.Fatalf("server reads/writes %d/%d != client %d/%d",
+			snap.Reads, snap.Writes, res.ReadOK, res.WriteOK)
+	}
+}
+
+// TestLoadBacksOffUnderOverload: against an overloaded server the
+// generator retries shed responses with backoff and still completes its
+// budget — the cooperative-client contract. The shed count proves the
+// admission controller engaged; zero Status5xx proves shedding is typed
+// 429, not a server error.
+func TestLoadBacksOffUnderOverload(t *testing.T) {
+	_, hs := newTestServer(t, Config{
+		System: core.Baseline, PE: 4000, Seed: 41,
+		QueueDepth: 1,
+		SimGap:     time.Microsecond,
+		SLOWait:    500 * time.Microsecond,
+	})
+	res, err := Load(LoadConfig{
+		BaseURL: hs.URL,
+		Tenants: []LoadTenant{{Name: "alpha", Requests: 300, Window: 1024}},
+		Workers: 8, ReadRatio: 1.0,
+		Seed:        2,
+		BackoffBase: 50 * time.Microsecond,
+		BackoffCap:  2 * time.Millisecond,
+		MaxRetries:  64,
+		Client:      hs.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatal("overload produced no sheds; the test exercises nothing")
+	}
+	if res.Retries == 0 {
+		t.Fatal("sheds were never retried")
+	}
+	if res.Status5xx != 0 {
+		t.Fatalf("overload produced %d 5xx responses", res.Status5xx)
+	}
+	if res.OK+res.Failed+res.Deadline != 300 {
+		t.Fatalf("ops unaccounted for: ok=%d failed=%d deadline=%d of 300",
+			res.OK, res.Failed, res.Deadline)
+	}
+	if res.OK == 0 {
+		t.Fatal("backoff never got an op through")
+	}
+}
+
+// TestLoadValidation: structural errors fail fast.
+func TestLoadValidation(t *testing.T) {
+	if _, err := Load(LoadConfig{BaseURL: "http://x"}); err == nil {
+		t.Fatal("empty tenant list accepted")
+	}
+	if _, err := Load(LoadConfig{
+		BaseURL: "http://x",
+		Tenants: []LoadTenant{{Name: "a", Requests: 10, Window: 0}},
+	}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+// BenchmarkServeRead measures the end-to-end server read path — HTTP
+// handler, admission, engine hop, simulated device — the serve IOPS
+// baseline the CI bench gate tracks.
+func BenchmarkServeRead(b *testing.B) {
+	s, err := New(Config{
+		System: core.FlexLevel, PE: 5000, Seed: 43,
+		FTL:     smallFTL(),
+		Tenants: testTenants(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	c := hs.Client()
+	url := hs.URL + "/v1/read?tenant=alpha&lpn=7"
+	get := func() {
+		resp, err := c.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("read returned %d", resp.StatusCode)
+		}
+	}
+	// Warm the connection pool and the engine, then amortize each
+	// iteration over a batch: at CI's -benchtime 3x a single-request
+	// iteration is dominated by cold-start jitter.
+	const batch = 32
+	for i := 0; i < batch; i++ {
+		get()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			get()
+		}
+	}
+}

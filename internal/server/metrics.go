@@ -1,0 +1,226 @@
+// Observability: the bounded latency rings behind /metrics and the
+// JSON snapshot they produce. Percentiles here describe what clients
+// experienced at this server (simulated response time, queue wait
+// included) over the last RingSize admitted ops — a sliding window, so
+// a long-running daemon reports current behaviour, not its lifetime
+// average. Shed and deadline-exceeded requests never enter a ring.
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"time"
+
+	"flexlevel/internal/core"
+)
+
+// latencyRing is a fixed-capacity ring of latency observations.
+type latencyRing struct {
+	xs   []float64
+	next int
+	full bool
+}
+
+func newLatencyRing(n int) *latencyRing { return &latencyRing{xs: make([]float64, 0, n)} }
+
+func (r *latencyRing) add(x float64) {
+	if r.full {
+		r.xs[r.next] = x
+		r.next = (r.next + 1) % len(r.xs)
+		return
+	}
+	r.xs = append(r.xs, x)
+	if len(r.xs) == cap(r.xs) {
+		r.full = true
+	}
+}
+
+// percentiles returns p50/p95/p99 and the mean over the window.
+func (r *latencyRing) percentiles() (p50, p95, p99, mean float64) {
+	if len(r.xs) == 0 {
+		return 0, 0, 0, 0
+	}
+	tmp := make([]float64, len(r.xs))
+	copy(tmp, r.xs)
+	sort.Float64s(tmp)
+	at := func(p float64) float64 {
+		i := int(p / 100 * float64(len(tmp)-1))
+		return tmp[i]
+	}
+	sum := 0.0
+	for _, x := range tmp {
+		sum += x
+	}
+	return at(50), at(95), at(99), sum / float64(len(tmp))
+}
+
+// tenantStats is one tenant's shared counters.
+type tenantStats struct {
+	name      string
+	admitted  int64
+	reads     int64
+	writes    int64
+	shed      int64
+	deadline  int64
+	queueFull int64
+	readOnly  int64
+	powerLoss int64
+	ackSeq    uint64
+	ring      *latencyRing
+}
+
+// serverStats is every shared observability field, guarded by statMu.
+type serverStats struct {
+	admitted       int64
+	reads          int64
+	writes         int64
+	shed           int64
+	deadline       int64
+	queueFull      int64
+	readOnly       int64
+	powerLoss      int64
+	internalErrors int64
+	crashed        bool // device is down awaiting restart
+	simTime        time.Duration
+	ring           *latencyRing
+	tenants        []*tenantStats
+
+	device      core.Metrics
+	haveDevice  bool
+	snapshotErr string
+	final       *Snapshot
+}
+
+func (st *serverStats) init(cfg Config, names []string) {
+	st.ring = newLatencyRing(cfg.RingSize)
+	st.tenants = make([]*tenantStats, len(names))
+	for i, name := range names {
+		st.tenants[i] = &tenantStats{name: name, ring: newLatencyRing(cfg.RingSize)}
+	}
+}
+
+// TenantSnapshot is one tenant's slice of /metrics.
+type TenantSnapshot struct {
+	Name             string  `json:"name"`
+	Admitted         int64   `json:"admitted"`
+	Reads            int64   `json:"reads"`
+	Writes           int64   `json:"writes"`
+	Shed             int64   `json:"shed"`
+	DeadlineExceeded int64   `json:"deadline_exceeded"`
+	QueueFull        int64   `json:"queue_full"`
+	ReadOnlyRejects  int64   `json:"read_only_rejects"`
+	PowerLossErrors  int64   `json:"power_loss_errors"`
+	AckSeq           uint64  `json:"ack_seq"`
+	P50              float64 `json:"p50_s"`
+	P95              float64 `json:"p95_s"`
+	P99              float64 `json:"p99_s"`
+	Mean             float64 `json:"mean_s"`
+}
+
+// Snapshot is the /metrics document (and the final drain artifact).
+type Snapshot struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	SimTimeSeconds float64 `json:"sim_time_seconds"`
+	Draining       bool    `json:"draining"`
+	Degraded       bool    `json:"degraded"`
+	Crashed        bool    `json:"crashed"`
+
+	Admitted         int64 `json:"admitted"`
+	Reads            int64 `json:"reads"`
+	Writes           int64 `json:"writes"`
+	Shed             int64 `json:"shed"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	QueueFull        int64 `json:"queue_full"`
+	ReadOnlyRejects  int64 `json:"read_only_rejects"`
+	PowerLossErrors  int64 `json:"power_loss_errors"`
+	InternalErrors   int64 `json:"internal_errors"`
+
+	// IOPS is admitted requests over the simulated makespan.
+	IOPS float64 `json:"iops"`
+	P50  float64 `json:"p50_s"`
+	P95  float64 `json:"p95_s"`
+	P99  float64 `json:"p99_s"`
+	Mean float64 `json:"mean_s"`
+
+	Tenants []TenantSnapshot `json:"tenants"`
+
+	// Device is the runner's full telemetry — cache and calibration
+	// activity, wear, crash-recovery counters — refreshed every
+	// MetricsEvery ops.
+	Device core.Metrics `json:"device"`
+
+	SnapshotError string `json:"snapshot_error,omitempty"`
+}
+
+func (s Snapshot) marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// snapshotLocked composes the current snapshot. Callers must NOT hold
+// statMu; the engine or any handler may call it.
+func (s *Server) snapshotLocked() Snapshot {
+	draining := s.Draining()
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	st := &s.stats
+	snap := Snapshot{
+		UptimeSeconds:    time.Since(s.started).Seconds(),
+		SimTimeSeconds:   st.simTime.Seconds(),
+		Draining:         draining,
+		Admitted:         st.admitted,
+		Reads:            st.reads,
+		Writes:           st.writes,
+		Shed:             st.shed,
+		DeadlineExceeded: st.deadline,
+		QueueFull:        st.queueFull,
+		ReadOnlyRejects:  st.readOnly,
+		PowerLossErrors:  st.powerLoss,
+		InternalErrors:   st.internalErrors,
+		Crashed:          st.crashed,
+		SnapshotError:    st.snapshotErr,
+	}
+	if st.haveDevice {
+		snap.Device = st.device
+		snap.Degraded = st.device.Degraded
+	}
+	if st.simTime > 0 {
+		snap.IOPS = float64(st.admitted) / st.simTime.Seconds()
+	}
+	snap.P50, snap.P95, snap.P99, snap.Mean = st.ring.percentiles()
+	snap.Tenants = make([]TenantSnapshot, len(st.tenants))
+	for i, ts := range st.tenants {
+		t := TenantSnapshot{
+			Name:             ts.name,
+			Admitted:         ts.admitted,
+			Reads:            ts.reads,
+			Writes:           ts.writes,
+			Shed:             ts.shed,
+			DeadlineExceeded: ts.deadline,
+			QueueFull:        ts.queueFull,
+			ReadOnlyRejects:  ts.readOnly,
+			PowerLossErrors:  ts.powerLoss,
+			AckSeq:           ts.ackSeq,
+		}
+		t.P50, t.P95, t.P99, t.Mean = ts.ring.percentiles()
+		snap.Tenants[i] = t
+	}
+	return snap
+}
+
+// Snapshot returns the current metrics view (what /metrics serves).
+func (s *Server) Snapshot() Snapshot { return s.snapshotLocked() }
+
+// FinalSnapshot returns the drain-time snapshot, if the drain finished.
+func (s *Server) FinalSnapshot() (Snapshot, bool) {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	if s.stats.final == nil {
+		return Snapshot{}, false
+	}
+	return *s.stats.final, true
+}
+
+func defaultWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

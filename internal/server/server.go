@@ -1,0 +1,703 @@
+// Package server exposes the simulated FlexLevel SSD as a long-running
+// multi-tenant block service (`flexlevel serve`): an HTTP read/write
+// API with per-tenant namespaces, admission control and graceful
+// degradation, built for sustained overload rather than one-shot
+// replay.
+//
+// The simulator is single-threaded by design (ssd.Device and
+// core.Runner share no locks), so the server serializes every device
+// touch through one engine goroutine fed by a bounded op channel.
+// Handlers admit under a mutex — draining flag, per-tenant admission
+// queue bound — and then block only on their own reply channel. The
+// engine owns the simulated clock: each admitted op advances it by
+// Config.SimGap (the modeled interarrival gap), computes the op's
+// submit time under the tenant's queue-depth window exactly as the
+// batched replay engine (core.StepBatch) would, and rejects — token
+// bucket empty, projected queue wait past the SLO budget, deadline
+// already blown — before the device is touched. Rejections are counted
+// (core.Runner.CountShed / CountDeadlineExceeded) and never produce a
+// latency sample, so the served percentiles describe admitted traffic
+// only.
+//
+// Robustness: a power loss (injected, or scripted via CrashAtOp) kills
+// the in-flight op with a retryable error — it is never acknowledged —
+// and, with AutoRestart, the engine brings the device back through
+// ftl.Recover before the next op. A degraded device (spares exhausted)
+// fails writes with a typed read-only error while reads keep flowing.
+// Shutdown stops admission, lets every queued op finish, writes a final
+// metrics snapshot and only then returns — the SIGTERM drain contract.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"flexlevel/internal/accesseval"
+	"flexlevel/internal/core"
+	"flexlevel/internal/fault"
+	"flexlevel/internal/ftl"
+	"flexlevel/internal/ssd"
+	"flexlevel/internal/trace"
+)
+
+// Defaults for the knobs a zero Config leaves unset.
+const (
+	DefaultQueueDepth   = 8
+	DefaultMaxQueue     = 64
+	DefaultSimGap       = 20 * time.Microsecond
+	DefaultRingSize     = 4096
+	DefaultSampleCap    = 1 << 16
+	DefaultMetricsEvery = 256
+	DefaultMaxPages     = 64
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// System/PE/Channels/Seed select the simulated device, as in the
+	// experiment sweeps. Channels 0 keeps core's default.
+	System   core.System
+	PE       int
+	Channels int
+	Seed     int64
+
+	// Tenants defines the namespaces: each tenant addresses logical
+	// pages [0, WorkingSet) of its own window (absolute LPN = Base +
+	// page). Empty selects trace.DefaultTenants over the device.
+	Tenants []trace.TenantSpec
+
+	// QueueDepth is the per-tenant outstanding window on the device —
+	// the NCQ slice each tenant gets (StepBatch semantics per tenant).
+	QueueDepth int
+	// MaxQueue bounds each tenant's admission queue: requests beyond it
+	// are shed at the door with 429 before touching the engine.
+	MaxQueue int
+	// Rate, when positive, is each tenant's token-bucket rate in
+	// requests per simulated second; Burst is the bucket size (defaults
+	// to Rate's one-second volume, min 1).
+	Rate  float64
+	Burst float64
+	// SLOWait, when positive, sheds any op whose projected simulated
+	// queue wait (submit − arrival under the tenant's window) exceeds
+	// it: the wait is exactly the latency the op is about to be charged
+	// beyond service time, so shedding on it keeps admitted p99 within
+	// budget and self-clears as soon as the backlog drains.
+	SLOWait time.Duration
+	// Deadline is the default per-request simulated deadline (0 =
+	// none); requests may tighten it per call. An op whose projected
+	// wait exceeds its deadline is cancelled before submission.
+	Deadline time.Duration
+	// SimGap is the simulated interarrival gap charged per admitted op
+	// — the modeled load intensity of the arriving stream.
+	SimGap time.Duration
+
+	// SampleCap bounds the device's read response-time reservoir
+	// (ssd.Config.SampleCap); RingSize bounds each latency ring the
+	// server keeps for /metrics percentiles.
+	SampleCap int
+	RingSize  int
+	// MetricsEvery refreshes the cached device telemetry every N ops.
+	MetricsEvery int
+	// MaxPages bounds the page count of one request (400 beyond it).
+	MaxPages int
+
+	// Faults forwards a deterministic fault-injection config to the
+	// device (Weibull wear-out curves, transient read faults, ...).
+	Faults fault.Config
+	// FTL, when non-nil, overrides the device geometry — small devices
+	// in tests, spare-block pools for fault runs. Journal settings are
+	// still forced on when the crash options demand them.
+	FTL *ftl.Config
+	// CrashAtOp, when positive, scripts a sudden power loss immediately
+	// before the Nth admitted op — the chaos-test hook. The op sees a
+	// retryable power-loss error (it is never acknowledged).
+	CrashAtOp int64
+	// AutoRestart recovers a crashed device in place via ftl.Recover
+	// (requires the journal, which the server enables whenever
+	// AutoRestart or CrashAtOp is set) and resumes serving.
+	AutoRestart bool
+
+	// SnapshotPath, when set, receives the final JSON metrics snapshot
+	// on drain (via the writeFile hook, so tests can capture it).
+	SnapshotPath string
+}
+
+// withDefaults fills unset knobs.
+func (c Config) withDefaults() Config {
+	if c.QueueDepth < 1 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MaxQueue < 1 {
+		c.MaxQueue = DefaultMaxQueue
+	}
+	if c.SimGap <= 0 {
+		c.SimGap = DefaultSimGap
+	}
+	if c.RingSize < 1 {
+		c.RingSize = DefaultRingSize
+	}
+	if c.SampleCap == 0 {
+		c.SampleCap = DefaultSampleCap
+	}
+	if c.MetricsEvery < 1 {
+		c.MetricsEvery = DefaultMetricsEvery
+	}
+	if c.MaxPages < 1 {
+		c.MaxPages = DefaultMaxPages
+	}
+	if c.Rate > 0 && c.Burst <= 0 {
+		c.Burst = c.Rate
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	return c
+}
+
+// op is one admitted request travelling handler → engine → handler.
+type op struct {
+	tenant   int
+	write    bool
+	lpn      uint64 // tenant-relative page
+	pages    int
+	deadline time.Duration // sim-time budget; 0 = Config.Deadline
+	sentinel bool          // drain marker: flush the final snapshot and exit
+	reply    chan opResult
+}
+
+// opResult is the engine's verdict on one op.
+type opResult struct {
+	status     int    // HTTP status
+	code       string // typed error code ("" on success)
+	message    string
+	retryAfter time.Duration // sim-time hint on 429/503
+	latency    time.Duration // simulated response time (success)
+	seq        uint64        // per-tenant ack sequence (successful writes)
+}
+
+// Typed error codes the API returns.
+const (
+	CodeShed       = "shed"              // 429: admission control rejected the op
+	CodeQueueFull  = "queue_full"        // 429: per-tenant admission queue at bound
+	CodeDeadline   = "deadline_exceeded" // 504: queue wait blew the op's deadline
+	CodeReadOnly   = "read_only"         // 503: degraded device, writes disabled
+	CodePowerLoss  = "power_loss"        // 503: op died in a crash; retry after recovery
+	CodeDraining   = "draining"          // 503: server is shutting down
+	CodeBadRequest = "bad_request"       // 400
+	CodeInternal   = "internal"          // 500
+)
+
+// tenantState is one tenant's engine-owned admission state.
+type tenantState struct {
+	spec trace.TenantSpec
+
+	// Token bucket, refilled on the simulated clock.
+	tokens     float64
+	lastRefill time.Duration
+
+	// Outstanding completions: the tenant's queue-depth window,
+	// maintained with the same min-heap discipline as core.StepBatch.
+	outstanding []simCompletion
+	seq         uint64 // submission tie-break counter
+}
+
+// simCompletion mirrors core's completion heap entry.
+type simCompletion struct {
+	at  time.Duration
+	seq uint64
+}
+
+// Server is the block service. Create with New, serve via Handler (or
+// cmd/flexlevel's HTTP listener), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	runner  *core.Runner
+	tenants []*tenantState
+	index   map[string]int // tenant name -> index
+
+	// Admission state, shared handler/engine.
+	mu       sync.Mutex
+	draining bool
+	queued   []int // per-tenant admitted-but-unreplied counts
+	ops      chan *op
+
+	engineDone chan struct{}
+	drainOnce  sync.Once
+
+	// Engine-owned simulation state (no locks: engine goroutine only).
+	simNow  time.Duration
+	opCount int64
+
+	// Observability state, shared engine/handlers under statMu.
+	statMu  sync.Mutex
+	stats   serverStats
+	started time.Time
+
+	// writeFile persists the final snapshot; swapped in tests.
+	writeFile func(path string, data []byte) error
+}
+
+// New builds the server, preconditions the device (every tenant window
+// preloaded) and starts the engine goroutine.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	opts := core.DefaultOptions(cfg.System, cfg.PE)
+	if cfg.Channels > 0 {
+		opts.SSD.Channels = cfg.Channels
+	}
+	if cfg.Seed != 0 {
+		opts.SSD.Seed = cfg.Seed
+	}
+	opts.SSD.SampleCap = cfg.SampleCap
+	opts.SSD.Faults = cfg.Faults
+	if cfg.FTL != nil {
+		opts.SSD.FTL = *cfg.FTL
+		// Resize the FlexLevel controller to the overridden space.
+		opts.AccessEval = accesseval.DefaultParams(opts.SSD.FTL.LogicalPages)
+	}
+	if cfg.AutoRestart || cfg.CrashAtOp > 0 {
+		// Crash recovery needs the durable journal; size it like the
+		// crash-consistency experiments.
+		opts.SSD.FTL.Journal = ftl.JournalConfig{Enabled: true, FlushRecords: 64, CheckpointEveryFlushes: 8}
+	}
+	if len(cfg.Tenants) == 0 {
+		cfg.Tenants = trace.DefaultTenants(opts.SSD.FTL.LogicalPages)
+	}
+	index := make(map[string]int, len(cfg.Tenants))
+	var maxEnd uint64
+	for i, t := range cfg.Tenants {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("server: tenant %d: %w", i, err)
+		}
+		if _, dup := index[t.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate tenant %q", t.Name)
+		}
+		index[t.Name] = i
+		if end := t.Base + t.WorkingSet; end > maxEnd {
+			maxEnd = end
+		}
+	}
+
+	r, err := core.NewRunner(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.EnableScheduler(); err != nil {
+		return nil, err
+	}
+	if err := r.Prepare(nil, maxEnd); err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		cfg:        cfg,
+		runner:     r,
+		index:      index,
+		queued:     make([]int, len(cfg.Tenants)),
+		engineDone: make(chan struct{}),
+		started:    time.Now(),
+		writeFile:  defaultWriteFile,
+	}
+	s.tenants = make([]*tenantState, len(cfg.Tenants))
+	for i, t := range cfg.Tenants {
+		s.tenants[i] = &tenantState{spec: t, tokens: cfg.Burst}
+	}
+	s.stats.init(cfg, tenantNames(cfg.Tenants))
+	// The channel holds every admissible op plus the drain sentinel, so
+	// a send under mu never blocks.
+	s.ops = make(chan *op, len(cfg.Tenants)*cfg.MaxQueue+1)
+	go s.engine()
+	return s, nil
+}
+
+func tenantNames(tenants []trace.TenantSpec) []string {
+	names := make([]string, len(tenants))
+	for i, t := range tenants {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// Tenant resolves a tenant name to its index.
+func (s *Server) Tenant(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Tenants lists the tenant specs in index order.
+func (s *Server) Tenants() []trace.TenantSpec { return s.cfg.Tenants }
+
+// errQueueFull and errDraining are the handler-side admission
+// rejections.
+var (
+	errQueueFull = errors.New("server: tenant admission queue full")
+	errDraining  = errors.New("server: draining")
+)
+
+// admit enqueues o for the engine, or rejects it at the door. The
+// channel send happens under mu with guaranteed capacity, so admission
+// order equals engine order (FIFO) and the drain sentinel provably
+// follows every admitted op.
+func (s *Server) admit(o *op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	if s.queued[o.tenant] >= s.cfg.MaxQueue {
+		return errQueueFull
+	}
+	s.queued[o.tenant]++
+	s.ops <- o
+	return nil
+}
+
+// do admits o and waits for the engine's reply. ctx covers the wait —
+// an HTTP client that disconnects stops waiting, but the op still runs
+// (its slot is charged either way).
+func (s *Server) do(ctx context.Context, o *op) opResult {
+	o.reply = make(chan opResult, 1)
+	if err := s.admit(o); err != nil {
+		if errors.Is(err, errDraining) {
+			return opResult{status: 503, code: CodeDraining, message: "server is draining"}
+		}
+		s.statMu.Lock()
+		s.stats.queueFull++
+		s.stats.tenants[o.tenant].queueFull++
+		s.statMu.Unlock()
+		return opResult{
+			status: 429, code: CodeQueueFull,
+			message:    "tenant admission queue full",
+			retryAfter: s.cfg.SimGap * time.Duration(s.cfg.MaxQueue),
+		}
+	}
+	select {
+	case res := <-o.reply:
+		return res
+	case <-ctx.Done():
+		return opResult{status: 503, code: CodeDraining, message: ctx.Err().Error()}
+	}
+}
+
+// engine is the single goroutine that owns the device and the simulated
+// clock.
+func (s *Server) engine() {
+	defer close(s.engineDone)
+	for o := range s.ops {
+		if o.sentinel {
+			s.finalize()
+			o.reply <- opResult{status: 200}
+			return
+		}
+		res := s.process(o)
+		// Refresh the cached device telemetry on a fixed op cadence
+		// regardless of outcome — a fully-shedding or degraded server
+		// must still report fresh /metrics and /healthz.
+		if s.opCount%int64(s.cfg.MetricsEvery) == 0 {
+			s.refreshDeviceMetrics()
+		}
+		s.mu.Lock()
+		s.queued[o.tenant]--
+		s.mu.Unlock()
+		o.reply <- res
+	}
+}
+
+// process runs one op through admission control and, if it survives,
+// the device. Engine goroutine only.
+func (s *Server) process(o *op) opResult {
+	s.opCount++
+	if s.cfg.CrashAtOp > 0 && s.opCount == s.cfg.CrashAtOp && !s.runner.Device().Crashed() {
+		// Scripted sudden power loss: volatile state is gone; this op —
+		// and every queued op until recovery — dies unacknowledged.
+		s.runner.Device().Crash()
+	}
+
+	arrival := s.simNow
+	s.simNow += s.cfg.SimGap
+	t := s.tenants[o.tenant]
+
+	// Token bucket on the simulated clock.
+	if s.cfg.Rate > 0 {
+		t.tokens += s.cfg.Rate * (arrival - t.lastRefill).Seconds()
+		if t.tokens > s.cfg.Burst {
+			t.tokens = s.cfg.Burst
+		}
+		t.lastRefill = arrival
+		if t.tokens < 1 {
+			wait := time.Duration((1 - t.tokens) / s.cfg.Rate * float64(time.Second))
+			s.countShed(o.tenant)
+			return opResult{
+				status: 429, code: CodeShed,
+				message:    "tenant rate limit exceeded",
+				retryAfter: wait,
+			}
+		}
+		t.tokens--
+	}
+
+	// The tenant's queue-depth window, with StepBatch's discipline:
+	// when full, the op waits for the earliest outstanding completion.
+	for len(t.outstanding) > 0 && t.outstanding[0].at <= arrival {
+		popSimCompletion(&t.outstanding)
+	}
+	submit := arrival
+	windowFull := len(t.outstanding) >= s.cfg.QueueDepth
+	if windowFull && t.outstanding[0].at > submit {
+		submit = t.outstanding[0].at
+	}
+	wait := submit - arrival
+
+	// SLO shedding: the projected wait is known before the device is
+	// touched, so overload is rejected deterministically and admitted
+	// ops keep their latency budget. Sheds free no window slot — the
+	// backlog drains at device speed — but every shed skips a SimGap of
+	// offered load, so the rejection clears itself.
+	if s.cfg.SLOWait > 0 && wait > s.cfg.SLOWait {
+		s.countShed(o.tenant)
+		return opResult{
+			status: 429, code: CodeShed,
+			message:    fmt.Sprintf("projected queue wait %v exceeds SLO budget %v", wait, s.cfg.SLOWait),
+			retryAfter: wait - s.cfg.SLOWait,
+		}
+	}
+
+	// Deadline: cancel queued work that cannot start in time.
+	deadline := o.deadline
+	if deadline <= 0 {
+		deadline = s.cfg.Deadline
+	}
+	if deadline > 0 && wait > deadline {
+		s.countDeadline(o.tenant)
+		return opResult{
+			status: 504, code: CodeDeadline,
+			message: fmt.Sprintf("queue wait %v exceeds deadline %v", wait, deadline),
+		}
+	}
+
+	// Degraded device: reads keep flowing, writes fail typed (the
+	// device itself silently rejects degraded writes, so the contract
+	// lives here).
+	if o.write && s.runner.Device().Degraded() {
+		s.statMu.Lock()
+		s.stats.readOnly++
+		s.stats.tenants[o.tenant].readOnly++
+		s.statMu.Unlock()
+		return opResult{
+			status: 503, code: CodeReadOnly,
+			message: "device degraded: read-only mode",
+		}
+	}
+
+	req := trace.Request{
+		Arrival: submit,
+		Op:      trace.Read,
+		LPN:     t.spec.Base + o.lpn,
+		Pages:   o.pages,
+		Tenant:  o.tenant,
+	}
+	if o.write {
+		req.Op = trace.Write
+	}
+	done, err := s.runner.StepAt(req, submit)
+	if err != nil {
+		if errors.Is(err, ftl.ErrPowerLoss) {
+			return s.handlePowerLoss(o)
+		}
+		s.statMu.Lock()
+		s.stats.internalErrors++
+		s.statMu.Unlock()
+		return opResult{status: 500, code: CodeInternal, message: err.Error()}
+	}
+	if windowFull {
+		popSimCompletion(&t.outstanding)
+	}
+	t.seq++
+	pushSimCompletion(&t.outstanding, simCompletion{at: done, seq: t.seq})
+
+	latency := done - arrival
+	res := opResult{status: 200, latency: latency}
+	s.statMu.Lock()
+	ts := s.stats.tenants[o.tenant]
+	ts.admitted++
+	s.stats.admitted++
+	s.stats.ring.add(latency.Seconds())
+	ts.ring.add(latency.Seconds())
+	if o.write {
+		ts.ackSeq++
+		res.seq = ts.ackSeq
+		ts.writes++
+		s.stats.writes++
+	} else {
+		ts.reads++
+		s.stats.reads++
+	}
+	s.stats.simTime = s.simNow
+	s.statMu.Unlock()
+	return res
+}
+
+// handlePowerLoss settles an op that died in a crash: the op is never
+// acknowledged, and with AutoRestart the device is recovered in place
+// before the next op runs.
+func (s *Server) handlePowerLoss(o *op) opResult {
+	recovered := false
+	if s.cfg.AutoRestart {
+		if _, err := s.runner.Device().Restart(s.simNow); err == nil {
+			recovered = true
+			// Recovery charged every channel; in-sim time moved on.
+			if now := s.runner.Device().Now(); now > s.simNow {
+				s.simNow = now
+			}
+			// The tenants' outstanding windows died with the queues.
+			for _, t := range s.tenants {
+				t.outstanding = t.outstanding[:0]
+			}
+		}
+	}
+	s.statMu.Lock()
+	s.stats.powerLoss++
+	s.stats.tenants[o.tenant].powerLoss++
+	s.stats.crashed = !recovered
+	s.statMu.Unlock()
+	s.refreshDeviceMetrics()
+	msg := "power loss: request not acknowledged"
+	if recovered {
+		msg += "; device recovered, retry"
+	}
+	return opResult{
+		status: 503, code: CodePowerLoss, message: msg,
+		retryAfter: s.cfg.SimGap * 16,
+	}
+}
+
+func (s *Server) countShed(tenant int) {
+	s.runner.CountShed(tenant)
+	s.statMu.Lock()
+	s.stats.shed++
+	s.stats.tenants[tenant].shed++
+	s.statMu.Unlock()
+}
+
+func (s *Server) countDeadline(tenant int) {
+	s.runner.CountDeadlineExceeded(tenant)
+	s.statMu.Lock()
+	s.stats.deadline++
+	s.stats.tenants[tenant].deadline++
+	s.statMu.Unlock()
+}
+
+// refreshDeviceMetrics caches the runner's full telemetry (device,
+// cache, calibration, crash-recovery counters) for /metrics. Engine
+// goroutine only: Finish sorts the shared read sample.
+func (s *Server) refreshDeviceMetrics() {
+	m := s.runner.Finish("serve")
+	s.statMu.Lock()
+	s.stats.device = m
+	s.stats.haveDevice = true
+	s.statMu.Unlock()
+}
+
+// finalize flushes the final snapshot at the end of a drain.
+func (s *Server) finalize() {
+	s.refreshDeviceMetrics()
+	snap := s.snapshotLocked()
+	if s.cfg.SnapshotPath != "" {
+		if data, err := snap.marshal(); err == nil {
+			// Best effort: a failed snapshot write must not block the
+			// drain; the error surfaces in the caller's logs via Err.
+			if werr := s.writeFile(s.cfg.SnapshotPath, data); werr != nil {
+				s.statMu.Lock()
+				s.stats.snapshotErr = werr.Error()
+				s.statMu.Unlock()
+			}
+		}
+	}
+	s.statMu.Lock()
+	s.stats.final = &snap
+	s.statMu.Unlock()
+}
+
+// Shutdown drains the server: admission stops immediately (handlers
+// return 503 draining), every already-admitted op completes, the final
+// snapshot is written, and the engine exits. Safe to call more than
+// once; ctx bounds the wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		sentinel := &op{sentinel: true, reply: make(chan opResult, 1)}
+		s.mu.Lock()
+		s.draining = true
+		// FIFO: the sentinel follows every op admitted before the flag
+		// flipped, so the engine sees it only after finishing them.
+		s.ops <- sentinel
+		s.mu.Unlock()
+	})
+	select {
+	case <-s.engineDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Device exposes the simulator for audits (chaos tests verifying acked
+// writes survived recovery). Only safe once Shutdown has returned.
+func (s *Server) Device() *ssd.Device { return s.runner.Device() }
+
+// pushSimCompletion / popSimCompletion maintain the per-tenant
+// completion min-heap, ordered like core.StepBatch's (time, then
+// submission sequence).
+func pushSimCompletion(h *[]simCompletion, c simCompletion) {
+	*h = append(*h, c)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !simLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func popSimCompletion(h *[]simCompletion) simCompletion {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && simLess(s[l], s[small]) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && simLess(s[r], s[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}
+
+func simLess(a, b simCompletion) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}

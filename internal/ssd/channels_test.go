@@ -90,3 +90,37 @@ func TestReadSamplePercentiles(t *testing.T) {
 		t.Errorf("p99 %g below mean %g", p99, res.ReadResp.Mean())
 	}
 }
+
+// TestSampleCapBoundsReadSample: with SampleCap set the device's read
+// sample stops growing at the cap while still seeing every read — the
+// memory bound the long-running serve daemon relies on. ResetMeasurement
+// must rebuild the bounded sample, not fall back to unbounded.
+func TestSampleCapBoundsReadSample(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SampleCap = 32
+	d, err := New(cfg, flatBER(0, 0), baseline.Oracle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Preload(512); err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		for i := 0; i < 200; i++ {
+			d.Read(d.Now(), uint64(i%512))
+		}
+		res := d.Results()
+		if res.ReadSample.N() != 32 {
+			t.Fatalf("capped sample holds %d, want 32", res.ReadSample.N())
+		}
+		if res.ReadSample.Seen() != 200 {
+			t.Fatalf("capped sample saw %d reads, want 200", res.ReadSample.Seen())
+		}
+		if res.ReadSample.Percentile(99) <= 0 {
+			t.Fatal("capped sample answers zero p99")
+		}
+	}
+	run()
+	d.ResetMeasurement()
+	run()
+}

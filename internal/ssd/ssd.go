@@ -85,6 +85,13 @@ type Config struct {
 	// shift never moves.
 	Calib calib.Config
 
+	// SampleCap, when positive, bounds the read response-time sample to
+	// that many kept observations via a seeded uniform reservoir, so a
+	// long-running device (the serve daemon) holds constant memory while
+	// percentiles stay unbiased estimates. 0 keeps every observation —
+	// the legacy exact-percentile behaviour every golden artifact pins.
+	SampleCap int
+
 	Seed int64
 }
 
@@ -522,6 +529,18 @@ func (d *Device) EnableLevelTable() error {
 	return nil
 }
 
+// newReadSample builds the read response-time sample the config asks
+// for: exact and unbounded by default, a seeded reservoir when
+// SampleCap bounds memory for long-running serving. The reservoir's
+// replacement stream is independent of the device rng, so enabling a
+// cap never perturbs fault or wear draws.
+func (d *Device) newReadSample() *stats.Sample {
+	if d.cfg.SampleCap > 0 {
+		return stats.NewReservoir(d.cfg.SampleCap, d.cfg.Seed^0x5eed5a3d1e)
+	}
+	return stats.NewSample(0)
+}
+
 // New builds a Device. berOf supplies the device-physics BER; policy the
 // read-retry behaviour.
 func New(cfg Config, berOf BERFunc, policy baseline.ReadPolicy) (*Device, error) {
@@ -572,7 +591,7 @@ func New(cfg Config, berOf BERFunc, policy baseline.ReadPolicy) (*Device, error)
 	}
 	d.chans = make([]channel, cfg.channels())
 	d.levels = cfg.Rule.RequiredLevels
-	d.res.ReadSample = stats.NewSample(0)
+	d.res.ReadSample = d.newReadSample()
 	f.OnRelocate = func(lpn uint64, oldPPN, newPPN int64) {
 		// A GC copy reprograms the data: retention age restarts.
 		d.ageOffset[newPPN] = 0
@@ -652,7 +671,7 @@ func (d *Device) ResetMeasurement() {
 		d.chans[i].inflight = d.chans[i].inflight[:0]
 	}
 	d.seq = 0
-	d.res = Results{ReadSample: stats.NewSample(0)}
+	d.res = Results{ReadSample: d.newReadSample()}
 	d.faultBase = d.inj.Stats()
 	if d.berStats != nil {
 		d.berBase = d.berStats()

@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 )
 
@@ -107,24 +108,66 @@ func (a *Accumulator) String() string {
 		a.n, a.Mean(), a.Stddev(), a.min, a.max)
 }
 
-// Sample keeps every observation and answers percentile queries exactly.
-// Use for response-time distributions where tail percentiles matter.
+// Sample keeps observations and answers percentile queries. The default
+// (NewSample / zero value) keeps every observation and answers exactly —
+// use for response-time distributions where tail percentiles matter and
+// the stream is bounded. NewReservoir bounds memory for long-running
+// streams (the serve daemon) by uniform reservoir sampling: percentiles
+// become estimates over a cap-sized uniform subsample.
 type Sample struct {
 	xs     []float64
 	sorted bool
+
+	// Reservoir mode (cap > 0): seen counts every Add, rng drives the
+	// replacement draw (algorithm R), deterministic from the seed.
+	cap  int
+	seen int64
+	rng  *rand.Rand
 }
 
-// NewSample returns a Sample pre-allocated for capacity hint n.
+// NewSample returns a Sample pre-allocated for capacity hint n. It keeps
+// every observation.
 func NewSample(n int) *Sample { return &Sample{xs: make([]float64, 0, n)} }
+
+// NewReservoir returns a Sample bounded to cap observations. Once full,
+// each new observation replaces a uniformly random kept one with
+// probability cap/seen (Vitter's algorithm R), so the kept set is a
+// uniform subsample of the whole stream and percentile queries are
+// unbiased estimates. The replacement draw is seeded, so a given stream
+// and seed always keep the same subsample. cap < 1 falls back to an
+// unbounded sample.
+func NewReservoir(cap int, seed int64) *Sample {
+	if cap < 1 {
+		return NewSample(0)
+	}
+	return &Sample{
+		xs:  make([]float64, 0, cap),
+		cap: cap,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
 
 // Add records one observation.
 func (s *Sample) Add(x float64) {
+	s.seen++
+	if s.cap > 0 && len(s.xs) >= s.cap {
+		if j := s.rng.Int63n(s.seen); j < int64(s.cap) {
+			s.xs[j] = x
+			s.sorted = false
+		}
+		return
+	}
 	s.xs = append(s.xs, x)
 	s.sorted = false
 }
 
-// N returns the number of observations.
+// N returns the number of kept observations (at most the reservoir cap).
 func (s *Sample) N() int { return len(s.xs) }
+
+// Seen returns the number of observations ever recorded, including
+// those a bounded reservoir has since evicted. For unbounded samples
+// Seen equals N.
+func (s *Sample) Seen() int64 { return s.seen }
 
 // Mean returns the arithmetic mean, or 0 with no observations.
 func (s *Sample) Mean() float64 {

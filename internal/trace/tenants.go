@@ -1,0 +1,85 @@
+// Canonical tenant definitions shared by every multi-tenant consumer:
+// the scenario matrix (`flexlevel scenario`), the serve daemon
+// (`flexlevel serve`) and the spec generator (`tracegen -tenants`) all
+// derive their default tenant set here, so a spec file produced by one
+// tool drives the others unchanged.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultTenants returns the canonical three-tenant mix, sized against
+// the device's logical space: a heavy skewed OLTP tenant, a
+// read-dominant web tenant and a write-heavy sequential batch tenant.
+// The windows deliberately overlap — web straddles both neighbours — so
+// tenants contend for the same reduced-pool candidates, not just
+// channels.
+func DefaultTenants(logicalPages uint64) []TenantSpec {
+	quarter := logicalPages / 4
+	return []TenantSpec{
+		{
+			Name: "oltp", Weight: 4, Model: BurstModel,
+			ReadRatio: 0.82, ZipfS: 1.30, Base: 0, WorkingSet: quarter,
+			MeanPages: 1.2, SeqProb: 0.05,
+			Duty: 0.25, Period: 250 * time.Millisecond, Amplitude: 0.5,
+		},
+		{
+			Name: "web", Weight: 2, Model: DiurnalModel,
+			ReadRatio: 0.98, ZipfS: 1.40, Base: logicalPages / 8, WorkingSet: logicalPages / 2,
+			MeanPages: 1.5, SeqProb: 0.05,
+			Duty: 0.5, Period: 500 * time.Millisecond, Amplitude: 0.8,
+		},
+		{
+			Name: "batch", Weight: 2, Model: SteadyModel,
+			ReadRatio: 0.45, ZipfS: 1.10, Base: logicalPages / 2, WorkingSet: quarter,
+			MeanPages: 2.5, SeqProb: 0.30,
+			Duty: 0.5, Period: 250 * time.Millisecond, Amplitude: 0.5,
+		},
+	}
+}
+
+// SampleTenants returns n valid tenants over the logical space: the
+// canonical trio first, then derived variants (cycling the three
+// arrival models with per-index skew and window offsets) so arbitrarily
+// large tenant sets stay valid and mutually overlapping. n < 1 yields
+// the canonical trio. Every returned spec passes Validate for any
+// logicalPages >= 16.
+func SampleTenants(n int, logicalPages uint64) []TenantSpec {
+	base := DefaultTenants(logicalPages)
+	if n < 1 {
+		return base
+	}
+	if n <= len(base) {
+		return base[:n]
+	}
+	out := make([]TenantSpec, 0, n)
+	out = append(out, base...)
+	models := []string{SteadyModel, BurstModel, DiurnalModel}
+	eighth := logicalPages / 8
+	if eighth == 0 {
+		eighth = 1
+	}
+	for i := len(base); i < n; i++ {
+		k := i - len(base)
+		t := TenantSpec{
+			Name:      fmt.Sprintf("tenant-%02d", i),
+			Weight:    1 + k%3,
+			Model:     models[k%len(models)],
+			ReadRatio: 0.5 + 0.05*float64(k%10),
+			ZipfS:     1.05 + 0.05*float64(k%8),
+			// Windows march across the space and wrap, overlapping the
+			// canonical trio and each other.
+			Base:       (uint64(k) * eighth) % (logicalPages - eighth + 1),
+			WorkingSet: eighth,
+			MeanPages:  1 + float64(k%4),
+			SeqProb:    0.05 * float64(k%5),
+			Duty:       0.25 + 0.1*float64(k%5),
+			Period:     time.Duration(100+50*(k%8)) * time.Millisecond,
+			Amplitude:  0.1 * float64(k%9),
+		}
+		out = append(out, t)
+	}
+	return out
+}
