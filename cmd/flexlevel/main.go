@@ -16,6 +16,7 @@
 //	flexlevel throughput [-n N]  IOPS and read-latency percentiles vs queue depth 1..32
 //	flexlevel adaptive [-n N]    adaptive threshold calibration vs static references
 //	flexlevel scenario [-n N] [-tenants f]  workload-shape x fault x queue-depth x system matrix
+//	flexlevel lifetime [-scale f]  full-device end-of-life: scrub/refresh policies, TBW to read-only
 //	flexlevel all   [-n N]       everything above in order
 //
 // Beyond the one-shot experiments, serve runs the simulated SSD as a
@@ -50,7 +51,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|crash|throughput|adaptive|scenario|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-crashes k] [-in file -format csv|msr] [-tenants file] [-cpuprofile f] [-memprofile f] [-trace f]")
+	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|crash|throughput|adaptive|scenario|lifetime|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-crashes k] [-scale f] [-in file -format csv|msr] [-tenants file] [-cpuprofile f] [-memprofile f] [-trace f]")
 	fmt.Fprintln(os.Stderr, "       flexlevel serve [-addr a] [-tenants f] [-qd d] [-rate r] [-slo d] [-deadline d] [-faults m] [-crash-at n] [-auto-restart] [-snapshot f]")
 	fmt.Fprintln(os.Stderr, "       flexlevel load  [-url u] [-n requests] [-tenants f] [-workers w] [-readratio r] [-gate] [-json]")
 	os.Exit(2)
@@ -80,7 +81,8 @@ func main() {
 	seed := fs.Int64("seed", 1, "master seed: workload generation and per-shard derived seeds")
 	pe := fs.Int("pe", 6000, "P/E cycle point for fig6a/fig7/ablations")
 	parallel := fs.Int("parallel", 0, "experiment engine workers (0 = all cores); results are byte-identical for any value")
-	faults := fs.Float64("faults", 1, "fault-rate multiplier for the reliability sweep (0 disables injection)")
+	faults := fs.Float64("faults", 1, "fault-rate multiplier for the reliability and lifetime sweeps (0 disables injection)")
+	scale := fs.Float64("scale", 1, "device-scale multiplier for the lifetime sweep (1 = the full 1M+ physical-page device)")
 	crashes := fs.Int("crashes", 24, "crash points for the crash subcommand")
 	inFile := fs.String("in", "", "trace file for the replay subcommand")
 	tenantsFile := fs.String("tenants", "", "tenant spec file for the scenario subcommand (default: built-in three-tenant mix)")
@@ -289,6 +291,20 @@ func main() {
 			if err := writeCSV("scenario.csv", func(f *os.File) error { return exp.WriteScenarioCSV(f, rows) }); err != nil {
 				return err
 			}
+		case "lifetime":
+			p := exp.DefaultLifetime()
+			if *scale != 1 {
+				p = p.Scaled(*scale)
+			}
+			p.FaultScale = *faults
+			rows, err := exp.Lifetime(cfg, p)
+			if err != nil {
+				return err
+			}
+			exp.PrintLifetime(os.Stdout, rows)
+			if err := writeCSV("lifetime.csv", func(f *os.File) error { return exp.WriteLifetimeCSV(f, rows) }); err != nil {
+				return err
+			}
 		case "adaptive":
 			rows, err := exp.Adaptive(cfg)
 			if err != nil {
@@ -306,12 +322,12 @@ func main() {
 
 	var names []string
 	if cmd == "all" {
-		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare", "reliability", "crash", "throughput", "adaptive", "scenario"}
+		names = []string{"fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations", "ecc", "retshare", "reliability", "crash", "throughput", "adaptive", "scenario", "lifetime"}
 	} else {
 		switch cmd {
 		case "fig5", "table4", "table5", "fig6a", "fig6b", "fig7", "ablations",
 			"ecc", "retshare", "replay", "reliability", "crash", "throughput",
-			"adaptive", "scenario":
+			"adaptive", "scenario", "lifetime":
 		default:
 			usage() // before any profile file is created
 		}

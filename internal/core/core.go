@@ -179,6 +179,11 @@ type Metrics struct {
 	RecoveryRecords int64
 	RecoveryTime    float64 // seconds of recovery unavailability
 
+	// MetaBytes is the resident size of the device's mapping and
+	// retention metadata tables (a geometry property — see
+	// ssd.Results.MetaBytes).
+	MetaBytes int64
+
 	// Hot-path cache activity over the measured window: the device's
 	// level cache and the BER surface behind its BERFunc.
 	LevelCache ssd.CacheStats
@@ -444,6 +449,7 @@ func (r *Runner) metrics(workload string) Metrics {
 	m.RecoveryReads = res.RecoveryReads
 	m.RecoveryRecords = res.RecoveryRecords
 	m.RecoveryTime = res.RecoveryTime.Seconds()
+	m.MetaBytes = res.MetaBytes
 	m.LevelCache = res.LevelCache
 	m.BERCache = res.BERCache
 	if r.ctrl != nil {

@@ -275,6 +275,109 @@ func parseAdaptiveRow(text string) (AdaptiveRow, error) {
 	return row, nil
 }
 
+// ReadLifetimeCSV parses a WriteLifetimeCSV artifact back into rows.
+// The header line is required verbatim; blank lines are skipped; a
+// malformed row fails with its line number.
+func ReadLifetimeCSV(r io.Reader) ([]LifetimeRow, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	line := 0
+	sawHeader := false
+	var rows []LifetimeRow
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if !sawHeader {
+			if text != lifetimeCSVHeader {
+				return nil, fmt.Errorf("exp: line %d: missing lifetime header", line)
+			}
+			sawHeader = true
+			continue
+		}
+		row, err := parseLifetimeRow(text)
+		if err != nil {
+			return nil, fmt.Errorf("exp: line %d: %w", line, err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("exp: empty lifetime CSV")
+	}
+	return rows, nil
+}
+
+func parseLifetimeRow(text string) (LifetimeRow, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) != 16 {
+		return LifetimeRow{}, fmt.Errorf("want 16 fields, have %d", len(fields))
+	}
+	var row LifetimeRow
+	var err error
+	row.Scheme = fields[0]
+	if row.Scheme == "" {
+		return LifetimeRow{}, fmt.Errorf("empty scheme")
+	}
+	row.Policy = fields[1]
+	switch row.Policy {
+	case PolicyNone, PolicyScrub, PolicyThreshold:
+	default:
+		return LifetimeRow{}, fmt.Errorf("bad policy %q", fields[1])
+	}
+	epoch, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil || epoch < 1 {
+		return LifetimeRow{}, fmt.Errorf("bad epoch %q", fields[2])
+	}
+	row.Epoch = int(epoch)
+	spares, err := strconv.ParseInt(fields[5], 10, 64)
+	if err != nil || spares < 0 {
+		return LifetimeRow{}, fmt.Errorf("bad spares_left %q", fields[5])
+	}
+	row.SparesLeft = int(spares)
+	floats := []struct {
+		dst  *float64
+		name string
+		idx  int
+	}{
+		{&row.AgeHours, "age_hours", 3},
+		{&row.MeanPE, "mean_pe", 4},
+		{&row.UBER, "uber", 9},
+		{&row.WriteAmp, "write_amp", 13},
+	}
+	for _, f := range floats {
+		if *f.dst, err = strconv.ParseFloat(fields[f.idx], 64); err != nil || *f.dst < 0 {
+			return LifetimeRow{}, fmt.Errorf("bad %s %q", f.name, fields[f.idx])
+		}
+	}
+	ints := []struct {
+		dst  *int64
+		name string
+		idx  int
+	}{
+		{&row.RetiredBlocks, "retired_blocks", 6},
+		{&row.Patrolled, "patrolled", 7},
+		{&row.Unreadable, "unreadable", 8},
+		{&row.Refreshes, "refreshes", 10},
+		{&row.UserWrites, "user_writes", 11},
+		{&row.TotalPrograms, "total_programs", 12},
+		{&row.TBWBytes, "tbw_bytes", 14},
+	}
+	for _, f := range ints {
+		if *f.dst, err = strconv.ParseInt(fields[f.idx], 10, 64); err != nil || *f.dst < 0 {
+			return LifetimeRow{}, fmt.Errorf("bad %s %q", f.name, fields[f.idx])
+		}
+	}
+	if row.Degraded, err = strconv.ParseBool(fields[15]); err != nil {
+		return LifetimeRow{}, fmt.Errorf("bad degraded %q", fields[15])
+	}
+	return row, nil
+}
+
 // WriteFig7CSV emits workload,write_increase,erase_increase,lifetime.
 func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
 	if _, err := fmt.Fprintln(w, "workload,write_increase,erase_increase,lifetime"); err != nil {

@@ -1,0 +1,30 @@
+package exp
+
+import (
+	"testing"
+
+	"flexlevel/internal/runner"
+)
+
+// BenchmarkLifetimeShard measures one (scheme, policy) cell of the
+// golden-scale lifetime sweep end to end: device build, aged preload,
+// and the epoch loop of overwrite trickle, full-space patrol and
+// policy refreshes until end of life. The allocs/op line tracks the
+// packed-metadata footprint the sweep depends on.
+func BenchmarkLifetimeShard(b *testing.B) {
+	p := goldenLifetimeParams()
+	cfg := SimConfig{Requests: 1, Seed: 1, PE: 6000, Parallel: 1}
+	cells := []lifetimeCell{{Scheme: AdaptiveSchemes()[0], Policy: PolicyNone}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := runner.Map(cfg.Ctx, cfg.engine("lifetime"), cells,
+			func(_ int, c lifetimeCell) string { return c.Scheme.Name + "/" + c.Policy },
+			func(s runner.Shard, c lifetimeCell) ([]LifetimeRow, error) {
+				return lifetimeShard(s, c, cfg, p)
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

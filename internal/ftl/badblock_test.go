@@ -87,7 +87,7 @@ func TestProgramFailureRetryAndRemap(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	firstBlock := f.blockOf(f.l2p[0])
+	firstBlock := f.blockOf(f.mapOf(0))
 	f.Fault = failNth(fault.Program, 0)
 	ppn, ops, err := f.Write(10, NormalState)
 	if err != nil {
@@ -132,7 +132,7 @@ func TestProgramRetryExhaustion(t *testing.T) {
 	if _, _, err := f.Write(0, NormalState); err != nil {
 		t.Fatal(err)
 	}
-	oldPPN := f.l2p[0]
+	oldPPN := f.mapOf(0)
 	f.Fault = func(op fault.Op, _, _ int) bool { return op == fault.Program }
 	_, _, err = f.Write(0, NormalState)
 	if !errors.Is(err, ErrWriteFailed) {

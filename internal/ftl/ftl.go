@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"flexlevel/internal/bitset"
 	"flexlevel/internal/fault"
 )
 
@@ -23,6 +24,13 @@ var ErrDegraded = errors.New("ftl: degraded mode, writes disabled (bad blocks ex
 // consecutive fresh blocks; the previous mapping of the page (if any) is
 // left intact.
 var ErrWriteFailed = errors.New("ftl: program retries exhausted")
+
+// ErrNoFreeBlocks is returned when an append cannot allocate a target
+// block: the logical space overcommits the pool, or retirements plus
+// fragmentation have eaten the over-provisioned space faster than the
+// degraded-mode capacity check could notice. Like ErrDegraded it marks
+// the end of write service; stored data stays readable.
+var ErrNoFreeBlocks = errors.New("ftl: out of free blocks")
 
 // BlockError attributes a media-level failure to the physical block it
 // hit, so timing layers can charge the wasted flash work to the channel
@@ -138,6 +146,14 @@ func (c Config) Validate() error {
 	phys := uint64(c.PagesPerBlock) * uint64(c.Blocks)
 	if phys <= c.LogicalPages {
 		return fmt.Errorf("ftl: physical pages %d not above logical %d (no over-provisioning)", phys, c.LogicalPages)
+	}
+	// The packed mapping tables (DESIGN.md §16) store ppns as int32 and,
+	// with the journal on, LPNs in 29 bits of the OOB word.
+	if phys > 1<<31-1 {
+		return fmt.Errorf("ftl: physical pages %d exceed the packed table limit %d", phys, 1<<31-1)
+	}
+	if c.Journal.Enabled && c.LogicalPages > maxOOBLPN+1 {
+		return fmt.Errorf("ftl: logical pages %d exceed the packed OOB limit %d", c.LogicalPages, maxOOBLPN+1)
 	}
 	if c.GCThreshold < 2 {
 		return fmt.Errorf("ftl: GC threshold %d too small", c.GCThreshold)
@@ -257,24 +273,40 @@ func (s Stats) WriteAmplification() float64 {
 
 const unmapped = int64(-1)
 
+// unmapped32 is the in-array sentinel of the packed mapping tables
+// (DESIGN.md §16); the public API keeps speaking int64 ppns with
+// unmapped as its sentinel.
+const unmapped32 = int32(-1)
+
 type activeBlock struct {
 	block    int
 	nextPage int
 }
 
-// FTL is the page-mapping flash translation layer.
+// FTL is the page-mapping flash translation layer. The mapping tables
+// and per-block counters are packed (int32 arrays, bitsets) so a
+// multi-million-page device fits in memory; Config.Validate bounds the
+// geometry to what the packed layout can address.
 type FTL struct {
 	cfg Config
 
-	l2p        []int64 // lpn -> ppn
-	p2l        []int64 // ppn -> lpn (unmapped = free or invalid)
-	blockValid []int
-	blockUsed  []int // pages programmed in block (valid + invalid)
+	l2p []int32 // lpn -> ppn (unmapped32 = unmapped)
+	// p2l is the reverse map, allocated only when the journal is off:
+	// with per-page OOB on the media, pageLPN derives the reverse
+	// mapping from the OOB's LPN plus an l2p cross-check instead of
+	// duplicating it in RAM.
+	p2l        []int32
+	blockValid []int32
+	blockUsed  []int32 // pages programmed in block (valid + invalid)
 	blockState []BlockState
-	blockPE    []int
-	free       []int  // free (erased) block indexes, LIFO
-	bad        []bool // retired (grown bad) blocks, never reused
-	spare      []int  // reserved replacement blocks, pristine until used
+	blockPE    []int32
+	free       []int32     // free (erased) block indexes, LIFO
+	bad        *bitset.Set // retired (grown bad) blocks, never reused
+	// spare is the reserved replacement pool. Retirement always consumes
+	// the highest-numbered spare and nothing is ever added, so the pool
+	// only shrinks — a bitset (popped via Max) reproduces the old
+	// ascending-slice order exactly.
+	spare *bitset.Set
 
 	active map[BlockState]*activeBlock
 
@@ -314,37 +346,87 @@ func New(cfg Config) (*FTL, error) {
 	}
 	f := &FTL{cfg: cfg}
 	phys := cfg.PagesPerBlock * cfg.Blocks
-	f.l2p = make([]int64, cfg.LogicalPages)
+	f.l2p = make([]int32, cfg.LogicalPages)
 	for i := range f.l2p {
-		f.l2p[i] = unmapped
+		f.l2p[i] = unmapped32
 	}
-	f.p2l = make([]int64, phys)
-	for i := range f.p2l {
-		f.p2l[i] = unmapped
+	if !cfg.Journal.Enabled {
+		// No per-page OOB to derive the reverse map from.
+		f.p2l = make([]int32, phys)
+		for i := range f.p2l {
+			f.p2l[i] = unmapped32
+		}
 	}
-	f.blockValid = make([]int, cfg.Blocks)
-	f.blockUsed = make([]int, cfg.Blocks)
+	f.blockValid = make([]int32, cfg.Blocks)
+	f.blockUsed = make([]int32, cfg.Blocks)
 	f.blockState = make([]BlockState, cfg.Blocks)
-	f.blockPE = make([]int, cfg.Blocks)
+	f.blockPE = make([]int32, cfg.Blocks)
 	for i := range f.blockPE {
-		f.blockPE[i] = cfg.InitialPE
+		f.blockPE[i] = int32(cfg.InitialPE)
 	}
-	f.bad = make([]bool, cfg.Blocks)
+	f.bad = bitset.New(cfg.Blocks)
 	// The highest-numbered blocks form the reserved spare pool; the rest
 	// start free and in service.
-	f.spare = make([]int, 0, cfg.SpareBlocks)
+	f.spare = bitset.New(cfg.Blocks)
 	for b := cfg.Blocks - cfg.SpareBlocks; b < cfg.Blocks; b++ {
-		f.spare = append(f.spare, b)
+		f.spare.Set(b)
 	}
-	f.free = make([]int, 0, cfg.Blocks)
+	f.free = make([]int32, 0, cfg.Blocks)
 	for b := cfg.Blocks - cfg.SpareBlocks - 1; b >= 0; b-- {
-		f.free = append(f.free, b)
+		f.free = append(f.free, int32(b))
 	}
 	f.active = map[BlockState]*activeBlock{}
 	if cfg.Journal.Enabled {
 		f.media = newMedia(cfg)
 	}
 	return f, nil
+}
+
+// ------------------------------------------------- packed-table accessors
+
+// mapOf reads the l2p table, widening the packed entry to the API's
+// int64/unmapped convention.
+func (f *FTL) mapOf(lpn uint64) int64 {
+	if v := f.l2p[lpn]; v != unmapped32 {
+		return int64(v)
+	}
+	return unmapped
+}
+
+// pageLPN returns the LPN currently stored at physical page p, or
+// unmapped. With the journal on it derives the answer from the page's
+// OOB (the durable copy of the reverse mapping): the OOB names the LPN
+// programmed there, and the page holds live data exactly when l2p still
+// points back at it.
+func (f *FTL) pageLPN(p int64) int64 {
+	if f.p2l != nil {
+		if v := f.p2l[p]; v != unmapped32 {
+			return int64(v)
+		}
+		return unmapped
+	}
+	oob := f.media.PageOOB(p)
+	if !oob.Valid || oob.LPN >= f.cfg.LogicalPages {
+		return unmapped
+	}
+	if int64(f.l2p[oob.LPN]) != p {
+		return unmapped
+	}
+	return int64(oob.LPN)
+}
+
+// setP2L / clearP2L maintain the explicit reverse map when one exists;
+// with the journal on they are no-ops (the OOB plus l2p is the map).
+func (f *FTL) setP2L(p int64, lpn uint64) {
+	if f.p2l != nil {
+		f.p2l[p] = int32(lpn)
+	}
+}
+
+func (f *FTL) clearP2L(p int64) {
+	if f.p2l != nil {
+		f.p2l[p] = unmapped32
+	}
 }
 
 // Config returns the FTL's configuration.
@@ -357,7 +439,7 @@ func (f *FTL) Stats() Stats { return f.stats }
 func (f *FTL) FreeBlocks() int { return len(f.free) }
 
 // SpareBlocksLeft returns how many reserved spares remain unused.
-func (f *FTL) SpareBlocksLeft() int { return len(f.spare) }
+func (f *FTL) SpareBlocksLeft() int { return f.spare.Count() }
 
 // Degraded reports whether the FTL has entered degraded mode: reads are
 // still served but Write/Migrate return ErrDegraded.
@@ -385,18 +467,35 @@ func (f *FTL) MediaOps() int64 { return f.mediaOps }
 func (f *FTL) EncodeState() []byte { return f.encodeCheckpoint() }
 
 // BadBlock reports whether block b has been retired.
-func (f *FTL) BadBlock(b int) bool { return f.bad[b] }
+func (f *FTL) BadBlock(b int) bool { return f.bad.Get(b) }
 
 // BlockPE returns the P/E count of block b.
-func (f *FTL) BlockPE(b int) int { return f.blockPE[b] }
+func (f *FTL) BlockPE(b int) int { return int(f.blockPE[b]) }
 
 // MeanPE returns the average block P/E count.
 func (f *FTL) MeanPE() float64 {
-	sum := 0
+	sum := int64(0)
 	for _, pe := range f.blockPE {
-		sum += pe
+		sum += int64(pe)
 	}
 	return float64(sum) / float64(len(f.blockPE))
+}
+
+// MetaBytes returns the FTL's metadata footprint in bytes: the packed
+// mapping tables, per-block arrays, pools, and — with the journal on —
+// the media's OOB arrays, journal log and checkpoint blob. The lifetime
+// experiments report it per physical page to demonstrate the ≥4x
+// packing win over the legacy struct layout (DESIGN.md §16).
+func (f *FTL) MetaBytes() int64 {
+	n := int64(len(f.l2p))*4 +
+		int64(len(f.p2l))*4 +
+		int64(len(f.blockValid))*4 +
+		int64(len(f.blockUsed))*4 +
+		int64(len(f.blockPE))*4 +
+		int64(len(f.blockState))*8 + // BlockState is int-sized
+		int64(cap(f.free))*4 +
+		f.bad.Bytes() + f.spare.Bytes()
+	return n + f.media.MetaBytes()
 }
 
 // usablePages returns the programmable page slots of a block in state s.
@@ -420,7 +519,7 @@ func (f *FTL) Lookup(lpn uint64) (ppn int64, state BlockState, ok bool) {
 	if lpn >= f.cfg.LogicalPages {
 		return 0, NormalState, false
 	}
-	p := f.l2p[lpn]
+	p := f.mapOf(lpn)
 	if p == unmapped {
 		return 0, NormalState, false
 	}
@@ -429,7 +528,7 @@ func (f *FTL) Lookup(lpn uint64) (ppn int64, state BlockState, ok bool) {
 
 // Mapped reports whether the LPN currently has physical storage.
 func (f *FTL) Mapped(lpn uint64) bool {
-	return lpn < f.cfg.LogicalPages && f.l2p[lpn] != unmapped
+	return lpn < f.cfg.LogicalPages && f.l2p[lpn] != unmapped32
 }
 
 // ReducedPages returns how many logical pages currently live in reduced-
@@ -438,7 +537,7 @@ func (f *FTL) ReducedPages() int {
 	n := 0
 	for b := 0; b < f.cfg.Blocks; b++ {
 		if f.blockState[b] == ReducedState {
-			n += f.blockValid[b]
+			n += int(f.blockValid[b])
 		}
 	}
 	return n
@@ -466,7 +565,7 @@ func (f *FTL) Write(lpn uint64, state BlockState) (int64, OpCount, error) {
 	if f.degraded {
 		return 0, ops, ErrDegraded
 	}
-	old := f.l2p[lpn]
+	old := f.mapOf(lpn)
 	f.invalidate(lpn)
 	newPPN, err := f.appendPage(lpn, state, &ops)
 	if err != nil {
@@ -491,7 +590,7 @@ func (f *FTL) Trim(lpn uint64) error {
 	if f.dead {
 		return ErrPowerLoss
 	}
-	if f.l2p[lpn] == unmapped {
+	if f.l2p[lpn] == unmapped32 {
 		return nil
 	}
 	f.invalidate(lpn)
@@ -524,7 +623,7 @@ func (f *FTL) Migrate(lpn uint64, state BlockState) (int64, OpCount, error) {
 	}
 	ops.CopyReads++
 	f.stats.CopyReads++
-	old := f.l2p[lpn]
+	old := f.mapOf(lpn)
 	f.invalidate(lpn)
 	newPPN, err := f.appendPage(lpn, state, &ops)
 	if err != nil {
@@ -538,13 +637,15 @@ func (f *FTL) Migrate(lpn uint64, state BlockState) (int64, OpCount, error) {
 }
 
 func (f *FTL) invalidate(lpn uint64) {
-	old := f.l2p[lpn]
+	old := f.mapOf(lpn)
 	if old == unmapped {
 		return
 	}
-	f.p2l[old] = unmapped
+	// Clear l2p first: with the journal on, the derived reverse mapping
+	// of old reads unmapped the moment l2p stops pointing at it.
+	f.l2p[lpn] = unmapped32
+	f.clearP2L(old)
 	f.blockValid[f.blockOf(old)]--
-	f.l2p[lpn] = unmapped
 }
 
 // restoreMapping re-establishes a mapping undone by invalidate when the
@@ -553,8 +654,8 @@ func (f *FTL) restoreMapping(lpn uint64, old int64) {
 	if old == unmapped {
 		return
 	}
-	f.l2p[lpn] = old
-	f.p2l[old] = int64(lpn)
+	f.l2p[lpn] = int32(old)
+	f.setP2L(old, lpn)
 	f.blockValid[f.blockOf(old)]++
 }
 
@@ -574,7 +675,7 @@ func (f *FTL) mediaTick(block int) bool {
 	if f.Fault != nil {
 		pe := 0
 		if block >= 0 {
-			pe = f.blockPE[block]
+			pe = int(f.blockPE[block])
 		}
 		if f.Fault(fault.PowerLoss, block, pe) {
 			f.dead = true
@@ -683,7 +784,7 @@ func (f *FTL) writeCheckpoint(ops *OpCount) error {
 // relocation is already the failure path, and a nested fault there
 // (vanishingly rare on silicon) would recurse.
 func (f *FTL) failProgram(b int) bool {
-	return f.Fault != nil && !f.inRetire && f.Fault(fault.Program, b, f.blockPE[b])
+	return f.Fault != nil && !f.inRetire && f.Fault(fault.Program, b, int(f.blockPE[b]))
 }
 
 // appendPage places lpn on the active block of the given state,
@@ -719,7 +820,7 @@ func (f *FTL) appendPage(lpn uint64, state BlockState, ops *OpCount) (int64, err
 		for s := 0; s < steps; s++ {
 			if !f.mediaTick(ab.block) {
 				if f.media != nil {
-					f.media.oob[p] = OOB{Written: true} // torn page: OOB fails its CRC
+					f.media.setTorn(p) // torn page: OOB fails its CRC
 				}
 				return 0, fmt.Errorf("ftl: program block %d page %d (lpn %d): %w",
 					ab.block, page, lpn, ErrPowerLoss)
@@ -731,7 +832,7 @@ func (f *FTL) appendPage(lpn uint64, state BlockState, ops *OpCount) (int64, err
 			if f.media != nil {
 				// A status-failed program leaves garbage in the page; its
 				// OOB fails the CRC check just like a torn page.
-				f.media.oob[p] = OOB{Written: true}
+				f.media.setTorn(p)
 			}
 			f.retire(ab.block, ops)
 			if f.dead {
@@ -744,12 +845,12 @@ func (f *FTL) appendPage(lpn uint64, state BlockState, ops *OpCount) (int64, err
 			}
 			continue
 		}
-		f.l2p[lpn] = p
-		f.p2l[p] = int64(lpn)
+		f.l2p[lpn] = int32(p)
+		f.setP2L(p, lpn)
 		f.blockValid[ab.block]++
 		if f.media != nil {
 			seq := f.nextSeq()
-			f.media.oob[p] = OOB{Written: true, Valid: true, LPN: lpn, State: state, Seq: seq}
+			f.media.setProgrammed(p, lpn, state, seq)
 			if f.journalAppend(ops, Record{
 				Type: recProgram, Seq: seq, LPN: lpn, PPN: p, State: state,
 			}) != nil {
@@ -779,7 +880,7 @@ func (f *FTL) RetireBlock(b int) (OpCount, error) {
 	if f.dead {
 		return ops, ErrPowerLoss
 	}
-	if f.bad[b] {
+	if f.bad.Get(b) {
 		return ops, nil
 	}
 	f.retire(b, &ops)
@@ -795,7 +896,7 @@ func (f *FTL) RetireBlock(b int) (OpCount, error) {
 // spare pool dry, capacity shrinks; once it cannot hold the logical
 // space plus GC headroom the FTL enters degraded mode.
 func (f *FTL) retire(b int, ops *OpCount) {
-	f.bad[b] = true
+	f.bad.Set(b)
 	f.retired++
 	f.stats.RetiredBlocks++
 	if f.media != nil && !f.dead {
@@ -817,13 +918,13 @@ func (f *FTL) retire(b int, ops *OpCount) {
 	base := f.ppn(b, 0)
 	for p := 0; p < f.cfg.PagesPerBlock; p++ {
 		old := base + int64(p)
-		lpn := f.p2l[old]
+		lpn := f.pageLPN(old)
 		if lpn == unmapped {
 			continue
 		}
-		f.p2l[old] = unmapped
+		f.l2p[lpn] = unmapped32
+		f.clearP2L(old)
 		f.blockValid[b]--
-		f.l2p[lpn] = unmapped
 		newPPN, err := f.appendPage(uint64(lpn), state, ops)
 		if err != nil {
 			// No room to relocate: keep the page mapped where it is. A
@@ -841,10 +942,9 @@ func (f *FTL) retire(b int, ops *OpCount) {
 		}
 	}
 	f.inRetire = wasRetiring
-	if len(f.spare) > 0 {
-		s := f.spare[len(f.spare)-1]
-		f.spare = f.spare[:len(f.spare)-1]
-		f.free = append(f.free, s)
+	if s, ok := f.spare.Max(); ok {
+		f.spare.Clear(s)
+		f.free = append(f.free, int32(s))
 		f.stats.SparesUsed++
 	}
 	f.checkDegraded()
@@ -870,8 +970,8 @@ func (f *FTL) checkDegraded() {
 // leveling: erased blocks rotate by wear instead of recency).
 func (f *FTL) allocBlock(state BlockState, ops *OpCount) (int, error) {
 	if len(f.free) == 0 {
-		return 0, fmt.Errorf("ftl: out of free blocks (logical space overcommitted for the %v pool; %d blocks retired, %d spares left)",
-			state, f.retired, len(f.spare))
+		return 0, fmt.Errorf("%w (logical space overcommitted for the %v pool; %d blocks retired, %d spares left)",
+			ErrNoFreeBlocks, state, f.retired, f.spare.Count())
 	}
 	best := 0
 	for i := 1; i < len(f.free); i++ {
@@ -879,7 +979,7 @@ func (f *FTL) allocBlock(state BlockState, ops *OpCount) (int, error) {
 			best = i
 		}
 	}
-	b := f.free[best]
+	b := int(f.free[best])
 	f.free[best] = f.free[len(f.free)-1]
 	f.free = f.free[:len(f.free)-1]
 	f.blockState[b] = state // erased block: state switch is legal
@@ -921,14 +1021,14 @@ func (f *FTL) pickVictim() int {
 	best, bestValid := -1, 1<<31
 	for b := 0; b < f.cfg.Blocks; b++ {
 		usable := f.usablePages(f.blockState[b])
-		if f.bad[b] || f.isActive(b) || f.blockUsed[b] < usable {
+		if f.bad.Get(b) || f.isActive(b) || int(f.blockUsed[b]) < usable {
 			continue // retired, still open, or free
 		}
-		if f.blockUsed[b] == 0 || f.blockValid[b] >= usable {
+		if f.blockUsed[b] == 0 || int(f.blockValid[b]) >= usable {
 			continue // free, or fully valid: no garbage to reclaim
 		}
-		if f.blockValid[b] < bestValid {
-			best, bestValid = b, f.blockValid[b]
+		if int(f.blockValid[b]) < bestValid {
+			best, bestValid = b, int(f.blockValid[b])
 		}
 	}
 	return best
@@ -951,21 +1051,21 @@ func (f *FTL) reclaim(victim int, ops *OpCount) bool {
 	base := f.ppn(victim, 0)
 	for p := 0; p < f.cfg.PagesPerBlock; p++ {
 		old := base + int64(p)
-		lpn := f.p2l[old]
+		lpn := f.pageLPN(old)
 		if lpn == unmapped {
 			continue
 		}
 		// Relocate: invalidate then append to the same pool.
-		f.p2l[old] = unmapped
+		f.l2p[lpn] = unmapped32
+		f.clearP2L(old)
 		f.blockValid[victim]--
-		f.l2p[lpn] = unmapped
 		newPPN, err := f.appendPage(uint64(lpn), state, ops)
 		if err != nil {
 			// Re-establish the old mapping; the caller sees a stuck FTL
 			// rather than lost data.
-			f.p2l[old] = lpn
+			f.l2p[lpn] = int32(old)
+			f.setP2L(old, uint64(lpn))
 			f.blockValid[victim]++
-			f.l2p[lpn] = old
 			return false
 		}
 		ops.CopyReads++
@@ -987,7 +1087,7 @@ func (f *FTL) reclaim(victim int, ops *OpCount) bool {
 		ops.Erases++
 		return false
 	}
-	if f.Fault != nil && f.Fault(fault.Erase, victim, f.blockPE[victim]) {
+	if f.Fault != nil && f.Fault(fault.Erase, victim, int(f.blockPE[victim])) {
 		// Erase-status failure: the erase pulse was spent but the block
 		// would not clear — retire it instead of returning it to the
 		// free pool. All data was relocated above, so nothing is lost.
@@ -1010,7 +1110,7 @@ func (f *FTL) reclaim(victim int, ops *OpCount) bool {
 		// block's journal-known fill level, so a reused block must never
 		// carry fresher pages than an undeclared erase would hide.
 		if f.journalAppend(ops, Record{
-			Type: recErase, Seq: f.nextSeq(), Block: int32(victim), PE: int32(f.blockPE[victim]),
+			Type: recErase, Seq: f.nextSeq(), Block: int32(victim), PE: f.blockPE[victim],
 		}) != nil || f.journalFlush(ops) != nil {
 			return false
 		}
@@ -1018,14 +1118,14 @@ func (f *FTL) reclaim(victim int, ops *OpCount) bool {
 	if f.OnErase != nil {
 		f.OnErase(victim)
 	}
-	if f.Fault != nil && f.Fault(fault.Grown, victim, f.blockPE[victim]) {
+	if f.Fault != nil && f.Fault(fault.Grown, victim, int(f.blockPE[victim])) {
 		// Wear-out screen after a good erase: the block is detected as
 		// end-of-life (a grown bad block) and retired before reuse.
 		f.stats.GrownBadBlocks++
 		f.retire(victim, ops)
 		return !f.dead
 	}
-	f.free = append(f.free, victim)
+	f.free = append(f.free, int32(victim))
 	return true
 }
 

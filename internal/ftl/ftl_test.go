@@ -219,8 +219,8 @@ func TestGCPreservesMappings(t *testing.T) {
 			t.Fatalf("lpn %d lost after GC", lpn)
 		}
 		// The inverse map must agree.
-		if got := f.p2l[ppn]; got != int64(lpn) {
-			t.Fatalf("p2l[%d] = %d, want %d", ppn, got, lpn)
+		if got := f.pageLPN(ppn); got != int64(lpn) {
+			t.Fatalf("pageLPN(%d) = %d, want %d", ppn, got, lpn)
 		}
 	}
 }

@@ -15,36 +15,39 @@ func checkInvariants(t *testing.T, f *FTL) {
 	t.Helper()
 	mappedPerBlock := make([]int, f.cfg.Blocks)
 	mapped := 0
-	for lpn, ppn := range f.l2p {
+	for lpn := uint64(0); lpn < f.cfg.LogicalPages; lpn++ {
+		ppn := f.mapOf(lpn)
 		if ppn == unmapped {
 			continue
 		}
 		mapped++
-		if back := f.p2l[ppn]; back != int64(lpn) {
-			t.Fatalf("invariant 1: l2p[%d]=%d but p2l[%d]=%d", lpn, ppn, ppn, back)
+		if back := f.pageLPN(ppn); back != int64(lpn) {
+			t.Fatalf("invariant 1: l2p[%d]=%d but pageLPN(%d)=%d", lpn, ppn, ppn, back)
 		}
 		mappedPerBlock[f.blockOf(ppn)]++
 	}
-	for ppn, lpn := range f.p2l {
+	phys := int64(f.cfg.PagesPerBlock * f.cfg.Blocks)
+	for ppn := int64(0); ppn < phys; ppn++ {
+		lpn := f.pageLPN(ppn)
 		if lpn == unmapped {
 			continue
 		}
-		if f.l2p[lpn] != int64(ppn) {
-			t.Fatalf("invariant 1: p2l[%d]=%d but l2p[%d]=%d", ppn, lpn, lpn, f.l2p[lpn])
+		if got := f.mapOf(uint64(lpn)); got != ppn {
+			t.Fatalf("invariant 1: pageLPN(%d)=%d but l2p[%d]=%d", ppn, lpn, lpn, got)
 		}
 	}
 	freeSet := map[int]bool{}
 	for _, b := range f.free {
-		if freeSet[b] {
+		if freeSet[int(b)] {
 			t.Fatalf("invariant 5: block %d on the free list twice", b)
 		}
-		freeSet[b] = true
+		freeSet[int(b)] = true
 	}
 	for b := 0; b < f.cfg.Blocks; b++ {
-		if f.blockValid[b] != mappedPerBlock[b] {
+		if int(f.blockValid[b]) != mappedPerBlock[b] {
 			t.Fatalf("invariant 2: block %d valid=%d, mapped=%d", b, f.blockValid[b], mappedPerBlock[b])
 		}
-		if f.blockUsed[b] > f.usablePages(f.blockState[b]) {
+		if int(f.blockUsed[b]) > f.usablePages(f.blockState[b]) {
 			t.Fatalf("invariant 3: block %d used=%d > usable=%d (%v)",
 				b, f.blockUsed[b], f.usablePages(f.blockState[b]), f.blockState[b])
 		}

@@ -301,7 +301,7 @@ func (f *FTL) encodeCheckpoint() []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.PagesPerBlock))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.retired))
 	for _, p := range f.l2p {
-		if p == unmapped {
+		if p == unmapped32 {
 			buf = binary.LittleEndian.AppendUint64(buf, math.MaxUint64)
 		} else {
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(p))
@@ -317,16 +317,19 @@ func (f *FTL) encodeCheckpoint() []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.blockUsed[b]))
 	}
 	for b := 0; b < c.Blocks; b++ {
-		if f.bad[b] {
+		if f.bad.Get(b) {
 			buf = append(buf, 1)
 		} else {
 			buf = append(buf, 0)
 		}
 	}
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.spare)))
-	for _, s := range f.spare {
+	// The spare bitset iterates ascending, matching the byte stream the
+	// old ascending spare slice produced.
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.spare.Count()))
+	f.spare.Range(func(s int) bool {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(s))
-	}
+		return true
+	})
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
 	return buf
 }
@@ -414,6 +417,12 @@ func DecodeCheckpoint(data []byte) (*checkpointState, error) {
 	for b, s := range st.Spare {
 		if s < 0 || s >= st.Blocks {
 			return nil, fmt.Errorf("%w: spare %d out of range", ErrCorruptJournal, b)
+		}
+		// Every writer emits the spare pool in strictly ascending order
+		// (it only ever shrinks from the top); anything else cannot be a
+		// real image and would change meaning in the bitset-backed pool.
+		if b > 0 && s <= st.Spare[b-1] {
+			return nil, fmt.Errorf("%w: spare list not strictly ascending at entry %d", ErrCorruptJournal, b)
 		}
 	}
 	return st, nil

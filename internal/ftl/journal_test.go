@@ -99,14 +99,14 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if st.Seq != f.seq || st.Retired != f.retired {
 		t.Fatalf("seq/retired mismatch: %d/%d vs %d/%d", st.Seq, st.Retired, f.seq, f.retired)
 	}
-	for lpn := range f.l2p {
-		if st.L2P[lpn] != f.l2p[lpn] {
-			t.Fatalf("l2p[%d]: %d != %d", lpn, st.L2P[lpn], f.l2p[lpn])
+	for lpn := uint64(0); lpn < cfg.LogicalPages; lpn++ {
+		if st.L2P[lpn] != f.mapOf(lpn) {
+			t.Fatalf("l2p[%d]: %d != %d", lpn, st.L2P[lpn], f.mapOf(lpn))
 		}
 	}
 	for b := 0; b < cfg.Blocks; b++ {
-		if st.BlockUsed[b] != f.blockUsed[b] || st.BlockState[b] != f.blockState[b] ||
-			st.BlockPE[b] != f.blockPE[b] || st.Bad[b] != f.bad[b] {
+		if st.BlockUsed[b] != int(f.blockUsed[b]) || st.BlockState[b] != f.blockState[b] ||
+			st.BlockPE[b] != int(f.blockPE[b]) || st.Bad[b] != f.bad.Get(b) {
 			t.Fatalf("block %d state mismatch", b)
 		}
 	}

@@ -1,0 +1,182 @@
+package ftl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"flexlevel/internal/fault"
+)
+
+// TestOOBPackUnpackIdentity is the pack/unpack property test for the
+// struct-of-arrays OOB layout: a long random sequence of programs, torn
+// programs and erase pulses must read back through PageOOB exactly as a
+// shadow model of plain OOB structs predicts — including the torn
+// Written-without-Valid state and sequence numbers past the lazily
+// materialized 32-bit boundary.
+func TestOOBPackUnpackIdentity(t *testing.T) {
+	cfg := smallConfig()
+	m := newMedia(cfg)
+	phys := int64(cfg.PagesPerBlock * cfg.Blocks)
+	shadow := make([]OOB, phys)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		ppn := rng.Int63n(phys)
+		switch rng.Intn(10) {
+		case 0: // torn program: power died mid-pulse
+			m.setTorn(ppn)
+			shadow[ppn] = OOB{Written: true}
+		case 1: // erase pulse clears the whole block's spare area
+			b := int(ppn) / cfg.PagesPerBlock
+			m.eraseBlock(b)
+			base := b * cfg.PagesPerBlock
+			for p := 0; p < cfg.PagesPerBlock; p++ {
+				shadow[base+p] = OOB{}
+			}
+		default:
+			lpn := uint64(rng.Int63n(int64(maxOOBLPN) + 1))
+			state := NormalState
+			if rng.Intn(2) == 0 {
+				state = ReducedState
+			}
+			// Mostly 32-bit sequence numbers; late in the run, cross the
+			// boundary so the high half-words materialize mid-stream and
+			// must not disturb earlier pages.
+			seq := uint64(rng.Int63n(1 << 32))
+			if i > 15000 && rng.Intn(3) == 0 {
+				seq = uint64(rng.Int63n(1 << 48))
+			}
+			m.setProgrammed(ppn, lpn, state, seq)
+			shadow[ppn] = OOB{Written: true, Valid: true, LPN: lpn, State: state, Seq: seq}
+		}
+		if got := m.PageOOB(ppn); got != shadow[ppn] {
+			t.Fatalf("op %d: PageOOB(%d) = %+v, want %+v", i, ppn, got, shadow[ppn])
+		}
+	}
+	for ppn := int64(0); ppn < phys; ppn++ {
+		if got := m.PageOOB(ppn); got != shadow[ppn] {
+			t.Fatalf("final sweep: PageOOB(%d) = %+v, want %+v", ppn, got, shadow[ppn])
+		}
+	}
+	// Out-of-range and nil reads are erased, never a panic.
+	for _, ppn := range []int64{-1, phys, phys + 99} {
+		if got := m.PageOOB(ppn); got != (OOB{}) {
+			t.Errorf("PageOOB(%d) = %+v, want erased", ppn, got)
+		}
+	}
+	if got := (*Media)(nil).PageOOB(0); got != (OOB{}) {
+		t.Errorf("nil media PageOOB = %+v, want erased", got)
+	}
+}
+
+// TestSeqHighWordsLazy pins the memory contract of the sequence-number
+// split: the high half-words stay unallocated until a sequence number
+// first exceeds 2^32-1, and materializing them preserves every earlier
+// page's value.
+func TestSeqHighWordsLazy(t *testing.T) {
+	cfg := smallConfig()
+	m := newMedia(cfg)
+	m.setProgrammed(3, 41, NormalState, 7)
+	m.setProgrammed(9, 42, ReducedState, 1<<32-1)
+	if m.seqHi != nil {
+		t.Fatal("high words materialized below the 32-bit boundary")
+	}
+	m.setProgrammed(12, 43, NormalState, 1<<32)
+	if m.seqHi == nil {
+		t.Fatal("high words not materialized at 2^32")
+	}
+	for _, c := range []struct {
+		ppn int64
+		seq uint64
+	}{{3, 7}, {9, 1<<32 - 1}, {12, 1 << 32}} {
+		if got := m.PageOOB(c.ppn).Seq; got != c.seq {
+			t.Errorf("ppn %d: seq %d, want %d", c.ppn, got, c.seq)
+		}
+	}
+	if got := m.MetaBytes(); got != int64(m.phys)*(4+4+2) {
+		t.Errorf("MetaBytes with high words = %d, want %d", got, int64(m.phys)*10)
+	}
+}
+
+// spareHeavyScript retires many blocks early: erase failures and grown
+// bad blocks at closely spaced check indexes chew through a large spare
+// pool while the trace is still running.
+func spareHeavyScript() []fault.ScriptEvent {
+	var ev []fault.ScriptEvent
+	for _, i := range []int64{1, 3, 5, 7, 9, 11} {
+		ev = append(ev, fault.ScriptEvent{Op: fault.Erase, Index: i})
+	}
+	for _, i := range []int64{2, 4, 6, 8, 10, 12} {
+		ev = append(ev, fault.ScriptEvent{Op: fault.Grown, Index: i})
+	}
+	return ev
+}
+
+// TestRecoverSpareHeavy is the regression test for the spare pool's
+// bitset representation in recovery: on a geometry with a deep spare
+// pool and a fault script that consumes most of it, a clean-shutdown
+// recovery must rebuild the exact live state (EncodeState
+// byte-identical), and crash-point recoveries across the whole trace
+// must satisfy the usual acked-durability contract.
+func TestRecoverSpareHeavy(t *testing.T) {
+	cfg := crashConfig()
+	cfg.Blocks = 60
+	cfg.SpareBlocks = 12
+	ops := crashTrace(crashTraceOps, int(cfg.LogicalPages))
+
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.New(fault.Config{Script: spareHeavyScript()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Fault = inj.Fails
+	o := runCrashTrace(t, f, ops)
+	if !o.finished {
+		t.Fatal("spare-heavy trace did not finish")
+	}
+	if used := cfg.SpareBlocks - f.SpareBlocksLeft(); used < 6 {
+		t.Fatalf("script consumed %d spares, want >= 6 for a spare-heavy image", used)
+	}
+	rf, _, err := Recover(cfg, f.Media().Clone(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyRecovered(t, rf, o)
+	if !bytes.Equal(f.EncodeState(), rf.EncodeState()) {
+		t.Fatal("spare-heavy clean-shutdown recovery diverged from live state")
+	}
+
+	total := f.MediaOps()
+	for n := int64(5); n < total; n += 97 {
+		cf, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cinj, err := fault.New(fault.Config{
+			Script: append(spareHeavyScript(), fault.ScriptEvent{Op: fault.PowerLoss, Index: n}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf.Fault = cinj.Fails
+		co := runCrashTrace(t, cf, ops)
+		if co.finished {
+			t.Fatalf("crash point %d: trace finished without dying", n)
+		}
+		crf, _, err := Recover(cfg, cf.Media(), nil)
+		if err != nil {
+			t.Fatalf("crash point %d: recover: %v", n, err)
+		}
+		verifyRecovered(t, crf, co)
+		crf2, _, err := Recover(cfg, crf.Media().Clone(), nil)
+		if err != nil {
+			t.Fatalf("crash point %d: second recover: %v", n, err)
+		}
+		if !bytes.Equal(crf.EncodeState(), crf2.EncodeState()) {
+			t.Fatalf("crash point %d: double recovery diverged", n)
+		}
+	}
+}

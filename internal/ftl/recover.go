@@ -69,9 +69,9 @@ func Recover(cfg Config, m *Media, faultFn func(op fault.Op, block, pe int) bool
 		return nil, rep, fmt.Errorf("ftl: recover of nil media")
 	}
 	phys := cfg.PagesPerBlock * cfg.Blocks
-	if m.pagesPerBlock != cfg.PagesPerBlock || len(m.oob) != phys {
+	if m.pagesPerBlock != cfg.PagesPerBlock || m.phys != phys {
 		return nil, rep, fmt.Errorf("ftl: media geometry (%d pages, %d pages/block) does not match config (%d pages, %d pages/block)",
-			len(m.oob), m.pagesPerBlock, phys, cfg.PagesPerBlock)
+			m.phys, m.pagesPerBlock, phys, cfg.PagesPerBlock)
 	}
 
 	f, err := New(cfg)
@@ -100,16 +100,35 @@ func Recover(cfg Config, m *Media, faultFn func(op fault.Op, block, pe int) bool
 			if u < 0 || u > cfg.PagesPerBlock {
 				return nil, rep, fmt.Errorf("%w: checkpoint block %d used %d out of range", ErrCorruptJournal, b, u)
 			}
+			if st.BlockPE[b] > 1<<31-1 {
+				return nil, rep, fmt.Errorf("%w: checkpoint block %d P/E %d out of range", ErrCorruptJournal, b, st.BlockPE[b])
+			}
 		}
 		rep.CheckpointReadPages = (len(m.checkpoint) + metaPageBytes - 1) / metaPageBytes
 		f.seq = st.Seq
 		f.retired = st.Retired
-		copy(f.l2p, st.L2P)
+		for i, p := range st.L2P {
+			if p == unmapped {
+				f.l2p[i] = unmapped32
+			} else {
+				f.l2p[i] = int32(p)
+			}
+		}
 		copy(f.blockState, st.BlockState)
-		copy(f.blockPE, st.BlockPE)
-		copy(f.blockUsed, st.BlockUsed)
-		copy(f.bad, st.Bad)
-		f.spare = append(f.spare[:0], st.Spare...)
+		for b := range st.BlockPE {
+			f.blockPE[b] = int32(st.BlockPE[b])
+			f.blockUsed[b] = int32(st.BlockUsed[b])
+		}
+		f.bad.Reset()
+		for b, bad := range st.Bad {
+			if bad {
+				f.bad.Set(b)
+			}
+		}
+		f.spare.Reset()
+		for _, s := range st.Spare {
+			f.spare.Set(s)
+		}
 	}
 
 	// 2. Journal replay: mutations flushed after the checkpoint.
@@ -133,32 +152,32 @@ func Recover(cfg Config, m *Media, faultFn func(op fault.Op, block, pe int) bool
 				return nil, rep, fmt.Errorf("%w: program record lpn %d ppn %d out of range", ErrCorruptJournal, r.LPN, r.PPN)
 			}
 			b, page := f.blockOf(r.PPN), int(r.PPN)%cfg.PagesPerBlock
-			f.l2p[r.LPN] = r.PPN
+			f.l2p[r.LPN] = int32(r.PPN)
 			f.blockState[b] = r.State
-			if page+1 > f.blockUsed[b] {
-				f.blockUsed[b] = page + 1
+			if int32(page+1) > f.blockUsed[b] {
+				f.blockUsed[b] = int32(page + 1)
 			}
 		case recTrim:
 			if r.LPN >= cfg.LogicalPages {
 				return nil, rep, fmt.Errorf("%w: trim record lpn %d out of range", ErrCorruptJournal, r.LPN)
 			}
-			f.l2p[r.LPN] = unmapped
+			f.l2p[r.LPN] = unmapped32
 		case recErase:
 			b := int(r.Block)
 			if b < 0 || b >= cfg.Blocks || r.PE < 0 {
 				return nil, rep, fmt.Errorf("%w: erase record block %d pe %d out of range", ErrCorruptJournal, r.Block, r.PE)
 			}
 			f.blockUsed[b] = 0
-			f.blockPE[b] = int(r.PE)
+			f.blockPE[b] = r.PE
 		case recRetire:
 			b := int(r.Block)
 			if b < 0 || b >= cfg.Blocks {
 				return nil, rep, fmt.Errorf("%w: retire record block %d out of range", ErrCorruptJournal, r.Block)
 			}
-			f.bad[b] = true
+			f.bad.Set(b)
 			f.retired++
-			if len(f.spare) > 0 {
-				f.spare = f.spare[:len(f.spare)-1] // the spare re-enters service (free by derivation)
+			if s, ok := f.spare.Max(); ok {
+				f.spare.Clear(s) // the spare re-enters service (free by derivation)
 			}
 		case recAlloc:
 			b := int(r.Block)
@@ -167,7 +186,7 @@ func Recover(cfg Config, m *Media, faultFn func(op fault.Op, block, pe int) bool
 			}
 			f.blockState[b] = r.State
 			f.blockUsed[b] = 0
-			f.spare = removeBlock(f.spare, b) // a checkpointed spare may have been promoted since
+			f.spare.Clear(b) // a checkpointed spare may have been promoted since
 		default:
 			return nil, rep, fmt.Errorf("%w: unreplayable record type %d", ErrCorruptJournal, r.Type)
 		}
@@ -184,14 +203,14 @@ func Recover(cfg Config, m *Media, faultFn func(op fault.Op, block, pe int) bool
 	}
 	var cands []candidate
 	for b := 0; b < cfg.Blocks; b++ {
-		for page := f.blockUsed[b]; page < cfg.PagesPerBlock; page++ {
+		for page := int(f.blockUsed[b]); page < cfg.PagesPerBlock; page++ {
 			p := f.ppn(b, page)
-			oob := m.oob[p]
+			oob := m.PageOOB(p)
 			rep.OOBReads++
 			if !oob.Written {
 				break // erased: nothing was ever programmed past here
 			}
-			f.blockUsed[b] = page + 1
+			f.blockUsed[b] = int32(page + 1)
 			if !oob.Valid || oob.LPN >= cfg.LogicalPages {
 				rep.TornPages++
 				continue
@@ -202,7 +221,7 @@ func Recover(cfg Config, m *Media, faultFn func(op fault.Op, block, pe int) bool
 	sort.Slice(cands, func(i, j int) bool { return cands[i].oob.Seq < cands[j].oob.Seq })
 	for _, c := range cands {
 		b := f.blockOf(c.ppn)
-		f.l2p[c.oob.LPN] = c.ppn
+		f.l2p[c.oob.LPN] = int32(c.ppn)
 		f.blockState[b] = c.oob.State
 		if c.oob.Seq > f.seq {
 			f.seq = c.oob.Seq
@@ -212,39 +231,42 @@ func Recover(cfg Config, m *Media, faultFn func(op fault.Op, block, pe int) bool
 
 	// A spare that carries data was promoted by a retirement whose
 	// record died in the buffer; it is in service now either way.
-	kept := f.spare[:0]
-	for _, s := range f.spare {
-		if f.blockUsed[s] == 0 && !f.bad[s] {
-			kept = append(kept, s)
+	var dropped []int
+	f.spare.Range(func(s int) bool {
+		if f.blockUsed[s] != 0 || f.bad.Get(s) {
+			dropped = append(dropped, s)
 		}
+		return true
+	})
+	for _, s := range dropped {
+		f.spare.Clear(s)
 	}
-	f.spare = kept
 
-	// 4. Derive the volatile structures from the rebuilt mapping.
-	spareSet := make(map[int]bool, len(f.spare))
-	for _, s := range f.spare {
-		spareSet[s] = true
-	}
-	for i := range f.p2l {
-		f.p2l[i] = unmapped
+	// 4. Derive the volatile structures from the rebuilt mapping. The
+	// reverse map is transient here — a journaled FTL derives it from
+	// the OOB at runtime (pageLPN) — but the pass still needs it to
+	// catch double-mapped physical pages in corrupt metadata.
+	owner := make([]int32, phys)
+	for i := range owner {
+		owner[i] = unmapped32
 	}
 	for b := range f.blockValid {
 		f.blockValid[b] = 0
 	}
 	for lpn, p := range f.l2p {
-		if p == unmapped {
+		if p == unmapped32 {
 			continue
 		}
-		if f.p2l[p] != unmapped {
-			return nil, rep, fmt.Errorf("%w: lpns %d and %d both map to ppn %d", ErrCorruptJournal, f.p2l[p], lpn, p)
+		if owner[p] != unmapped32 {
+			return nil, rep, fmt.Errorf("%w: lpns %d and %d both map to ppn %d", ErrCorruptJournal, owner[p], lpn, p)
 		}
-		f.p2l[p] = int64(lpn)
-		f.blockValid[f.blockOf(p)]++
+		owner[p] = int32(lpn)
+		f.blockValid[f.blockOf(int64(p))]++
 	}
 	f.free = f.free[:0]
 	for b := 0; b < cfg.Blocks; b++ {
-		if !f.bad[b] && !spareSet[b] && f.blockUsed[b] == 0 {
-			f.free = append(f.free, b)
+		if !f.bad.Get(b) && !f.spare.Get(b) && f.blockUsed[b] == 0 {
+			f.free = append(f.free, int32(b))
 		}
 	}
 	// One partially-filled block per pool resumes as the active block —
@@ -255,15 +277,15 @@ func Recover(cfg Config, m *Media, faultFn func(op fault.Op, block, pe int) bool
 		usable := f.usablePages(state)
 		best, bestSeq := -1, uint64(0)
 		for b := 0; b < cfg.Blocks; b++ {
-			if f.bad[b] || spareSet[b] || f.blockState[b] != state {
+			if f.bad.Get(b) || f.spare.Get(b) || f.blockState[b] != state {
 				continue
 			}
-			if f.blockUsed[b] == 0 || f.blockUsed[b] >= usable {
+			if f.blockUsed[b] == 0 || int(f.blockUsed[b]) >= usable {
 				continue
 			}
 			var maxSeq uint64
-			for page := 0; page < f.blockUsed[b]; page++ {
-				if oob := m.oob[f.ppn(b, page)]; oob.Valid && oob.Seq > maxSeq {
+			for page := 0; page < int(f.blockUsed[b]); page++ {
+				if oob := m.PageOOB(f.ppn(b, page)); oob.Valid && oob.Seq > maxSeq {
 					maxSeq = oob.Seq
 				}
 			}
@@ -274,11 +296,11 @@ func Recover(cfg Config, m *Media, faultFn func(op fault.Op, block, pe int) bool
 		if best < 0 {
 			continue
 		}
-		f.active[state] = &activeBlock{block: best, nextPage: f.blockUsed[best]}
+		f.active[state] = &activeBlock{block: best, nextPage: int(f.blockUsed[best])}
 		for b := 0; b < cfg.Blocks; b++ {
-			if b != best && !f.bad[b] && !spareSet[b] && f.blockState[b] == state &&
-				f.blockUsed[b] > 0 && f.blockUsed[b] < usable {
-				f.blockUsed[b] = usable
+			if b != best && !f.bad.Get(b) && !f.spare.Get(b) && f.blockState[b] == state &&
+				f.blockUsed[b] > 0 && int(f.blockUsed[b]) < usable {
+				f.blockUsed[b] = int32(usable)
 			}
 		}
 	}
@@ -293,14 +315,4 @@ func Recover(cfg Config, m *Media, faultFn func(op fault.Op, block, pe int) bool
 	}
 	rep.CheckpointWritePages = (len(m.checkpoint) + metaPageBytes - 1) / metaPageBytes
 	return f, rep, nil
-}
-
-// removeBlock deletes b from list, preserving order.
-func removeBlock(list []int, b int) []int {
-	for i, v := range list {
-		if v == b {
-			return append(list[:i], list[i+1:]...)
-		}
-	}
-	return list
 }

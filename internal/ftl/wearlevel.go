@@ -22,15 +22,16 @@ type WearStats struct {
 // WearStats returns the current wear distribution.
 func (f *FTL) WearStats() WearStats {
 	ws := WearStats{MinPE: int(^uint(0) >> 1)}
-	sum := 0
-	for _, pe := range f.blockPE {
+	sum := int64(0)
+	for _, pe32 := range f.blockPE {
+		pe := int(pe32)
 		if pe < ws.MinPE {
 			ws.MinPE = pe
 		}
 		if pe > ws.MaxPE {
 			ws.MaxPE = pe
 		}
-		sum += pe
+		sum += int64(pe)
 	}
 	ws.MeanPE = float64(sum) / float64(len(f.blockPE))
 	ws.Spread = ws.MaxPE - ws.MinPE
@@ -61,14 +62,14 @@ func (f *FTL) LevelWear(threshold int) (OpCount, bool) {
 	victim := -1
 	for b := 0; b < f.cfg.Blocks; b++ {
 		usable := f.usablePages(f.blockState[b])
-		if f.bad[b] || f.isActive(b) || f.blockUsed[b] < usable || f.blockValid[b] == 0 {
+		if f.bad.Get(b) || f.isActive(b) || int(f.blockUsed[b]) < usable || f.blockValid[b] == 0 {
 			continue
 		}
 		if victim == -1 || f.blockPE[b] < f.blockPE[victim] {
 			victim = b
 		}
 	}
-	if victim == -1 || f.blockPE[victim] > ws.MinPE+threshold/2 {
+	if victim == -1 || int(f.blockPE[victim]) > ws.MinPE+threshold/2 {
 		return ops, false // cold data already lives on worn blocks
 	}
 	if !f.reclaim(victim, &ops) {

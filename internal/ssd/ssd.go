@@ -92,6 +92,16 @@ type Config struct {
 	// the legacy exact-percentile behaviour every golden artifact pins.
 	SampleCap int
 
+	// PackedMeta packs the per-page retention-age tracking into one
+	// int32 birth second per physical page (4 B) instead of the exact
+	// float64 age offset + Duration program time (16 B). Age resolution
+	// drops to one second, so a read landing exactly on a sub-second
+	// retention boundary may resolve one sensing level differently; off
+	// by default because every golden artifact pins the exact layout.
+	// The full-device lifetime sweep (DESIGN.md §16) turns it on: its
+	// epochs advance in hours, where second quantization is invisible.
+	PackedMeta bool
+
 	Seed int64
 }
 
@@ -252,6 +262,12 @@ type Results struct {
 	RecoveryTornPages int64
 	RecoveryTime      time.Duration
 
+	// MetaBytes is the resident size of the FTL's mapping/block tables
+	// plus the device's retention-age tracking at snapshot time
+	// (DESIGN.md §16). A geometry property, not a workload counter:
+	// ResetMeasurement does not zero it.
+	MetaBytes int64
+
 	// Cache observability (DESIGN.md §11): the per-device level cache
 	// (quantized BER -> sensing levels) and the BER surface backing the
 	// device's BERFunc, when the caller registered one via
@@ -279,9 +295,12 @@ type Device struct {
 	policy baseline.ReadPolicy
 
 	// Per physical page: the retention-age offset (pre-aging) and the
-	// simulation time of the last program.
+	// simulation time of the last program. With Config.PackedMeta both
+	// collapse into birth — the program instant in whole sim seconds
+	// (negative for preloaded pre-aged data) — and stay nil.
 	ageOffset []float64
 	progTime  []time.Duration
+	birth     []int32
 
 	chans []channel // per-channel FIFO tail + in-flight completion heap
 	seq   uint64    // monotone op sequence; breaks completion-time ties
@@ -560,10 +579,14 @@ func New(cfg Config, berOf BERFunc, policy baseline.ReadPolicy) (*Device, error)
 		ftl:        f,
 		berOf:      berOf,
 		policy:     policy,
-		ageOffset:  make([]float64, phys),
-		progTime:   make([]time.Duration, phys),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		levelCache: make(map[int64]*levelEntry),
+	}
+	if cfg.PackedMeta {
+		d.birth = make([]int32, phys)
+	} else {
+		d.ageOffset = make([]float64, phys)
+		d.progTime = make([]time.Duration, phys)
 	}
 	d.attemptsBuf = make([]int, 0, sensing.MaxExtraLevels+2)
 	if ap, ok := policy.(baseline.AttemptAppender); ok {
@@ -594,8 +617,7 @@ func New(cfg Config, berOf BERFunc, policy baseline.ReadPolicy) (*Device, error)
 	d.res.ReadSample = d.newReadSample()
 	f.OnRelocate = func(lpn uint64, oldPPN, newPPN int64) {
 		// A GC copy reprograms the data: retention age restarts.
-		d.ageOffset[newPPN] = 0
-		d.progTime[newPPN] = d.Now()
+		d.resetAge(newPPN, d.Now())
 	}
 	d.wireOnErase(f)
 	return d, nil
@@ -654,8 +676,7 @@ func (d *Device) PreloadState(pages uint64, state ftl.BlockState) error {
 		if err != nil {
 			return fmt.Errorf("ssd: preload: %w", err)
 		}
-		d.ageOffset[ppn] = d.rng.Float64() * d.cfg.MaxDataAgeHours
-		d.progTime[ppn] = 0
+		d.preAge(ppn, d.rng.Float64()*d.cfg.MaxDataAgeHours)
 	}
 	d.ResetMeasurement()
 	return nil
@@ -690,8 +711,37 @@ func (d *Device) SetBERCacheStats(fn func() CacheStats) {
 	}
 }
 
+// resetAge records a fresh program of ppn at sim time now: its
+// retention age restarts from zero.
+func (d *Device) resetAge(ppn int64, now time.Duration) {
+	if d.birth != nil {
+		d.birth[ppn] = int32(now / time.Second)
+		return
+	}
+	d.ageOffset[ppn] = 0
+	d.progTime[ppn] = now
+}
+
+// preAge assigns ppn a pre-existing retention age (preload), with the
+// program anchored at sim time zero.
+func (d *Device) preAge(ppn int64, hours float64) {
+	if d.birth != nil {
+		d.birth[ppn] = -int32(math.Round(hours * 3600))
+		return
+	}
+	d.ageOffset[ppn] = hours
+	d.progTime[ppn] = 0
+}
+
 // ageHours returns the retention age of a physical page at sim time now.
 func (d *Device) ageHours(ppn int64, now time.Duration) float64 {
+	if d.birth != nil {
+		sec := int64(now/time.Second) - int64(d.birth[ppn])
+		if sec < 0 {
+			sec = 0
+		}
+		return float64(sec) / 3600
+	}
 	elapsed := now - d.progTime[ppn]
 	if elapsed < 0 {
 		elapsed = 0
@@ -704,6 +754,16 @@ func (d *Device) ageHours(ppn int64, now time.Duration) float64 {
 func (d *Device) RequiredLevels(lpn uint64, now time.Duration) int {
 	levels, _ := d.requiredLevels(lpn, now)
 	return levels
+}
+
+// Patrol evaluates lpn's current read health without serving a read:
+// the sensing levels a read would need right now, and whether the page
+// is readable at all within the maximum sensing capability. Unmapped
+// pages report (0, true). It charges no flash time and records no
+// response sample — the lifetime sweep's scrub/refresh policies use it
+// as the media scan behind their refresh decisions.
+func (d *Device) Patrol(lpn uint64, now time.Duration) (levels int, readable bool) {
+	return d.requiredLevels(lpn, now)
 }
 
 // requiredLevels also reports whether the page is readable at all
@@ -974,8 +1034,7 @@ func (d *Device) Write(now time.Duration, lpn uint64, state ftl.BlockState) (tim
 		}
 		return 0, err
 	}
-	d.ageOffset[ppn] = 0
-	d.progTime[ppn] = now
+	d.resetAge(ppn, now)
 
 	ch := d.channelOf(int(ppn) / d.cfg.FTL.PagesPerBlock)
 	d.charge(ch, now, d.opsTime(ops))
@@ -1016,8 +1075,7 @@ func (d *Device) Migrate(now time.Duration, lpn uint64, state ftl.BlockState) er
 		}
 		return err
 	}
-	d.ageOffset[ppn] = 0
-	d.progTime[ppn] = now
+	d.resetAge(ppn, now)
 	ch := d.channelOf(int(ppn) / d.cfg.FTL.PagesPerBlock)
 	d.charge(ch, now, d.opsTime(ops))
 	return nil
@@ -1069,8 +1127,7 @@ func (d *Device) Restart(now time.Duration) (ftl.RecoveryReport, error) {
 	d.ftlPrior = d.ftlPrior.Add(prior)
 	d.ftl = f
 	f.OnRelocate = func(lpn uint64, oldPPN, newPPN int64) {
-		d.ageOffset[newPPN] = 0
-		d.progTime[newPPN] = d.Now()
+		d.resetAge(newPPN, d.Now())
 	}
 	d.wireOnErase(f)
 	// Controller RAM did not survive: the level cache, the policy's
@@ -1100,9 +1157,21 @@ func (d *Device) Restart(now time.Duration) (ftl.RecoveryReport, error) {
 	return rep, nil
 }
 
+// MetaBytes reports the resident bytes of the device's mapping and
+// retention metadata: the FTL's packed tables plus the per-page age
+// tracking (DESIGN.md §16).
+func (d *Device) MetaBytes() int64 {
+	b := d.ftl.MetaBytes()
+	if d.birth != nil {
+		return b + 4*int64(len(d.birth))
+	}
+	return b + 8*int64(len(d.ageOffset)) + 8*int64(len(d.progTime))
+}
+
 // Results returns a snapshot of the accumulated metrics.
 func (d *Device) Results() Results {
 	r := d.res
+	r.MetaBytes = d.MetaBytes()
 	r.FTL = d.ftlPrior.Add(d.ftl.Stats())
 	r.Faults = d.inj.Stats().Sub(d.faultBase)
 	if d.berStats != nil {
