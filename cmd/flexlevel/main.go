@@ -52,7 +52,7 @@ import (
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: flexlevel <fig5|table4|table5|fig6a|fig6b|fig7|ablations|ecc|retshare|replay|reliability|crash|throughput|adaptive|scenario|lifetime|all> [-n requests] [-seed s] [-pe cycles] [-parallel w] [-faults m] [-crashes k] [-scale f] [-in file -format csv|msr] [-tenants file] [-cpuprofile f] [-memprofile f] [-trace f]")
-	fmt.Fprintln(os.Stderr, "       flexlevel serve [-addr a] [-tenants f] [-qd d] [-rate r] [-slo d] [-deadline d] [-faults m] [-crash-at n] [-auto-restart] [-snapshot f]")
+	fmt.Fprintln(os.Stderr, "       flexlevel serve [-addr a] [-shards n] [-tenants f] [-qd d] [-rate r] [-slo d] [-deadline d] [-faults m] [-crash-at n] [-crash-shard k] [-auto-restart] [-snapshot f] [-pprof]")
 	fmt.Fprintln(os.Stderr, "       flexlevel load  [-url u] [-n requests] [-tenants f] [-workers w] [-readratio r] [-gate] [-json]")
 	os.Exit(2)
 }

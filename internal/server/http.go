@@ -172,11 +172,14 @@ type healthStatus struct {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := healthStatus{Status: "ok"}
 	s.statMu.Lock()
-	if s.stats.haveDevice && s.stats.device.Degraded {
-		h.Degraded = true
-		// Degraded is not down: reads still flow, so health stays 200
-		// with the condition surfaced for operators.
-		h.Status = "degraded"
+	for k, have := range s.stats.haveDevice {
+		if have && s.stats.shardDevice[k].Degraded {
+			h.Degraded = true
+			// Degraded is not down: reads still flow (on every shard),
+			// so health stays 200 with the condition surfaced for
+			// operators.
+			h.Status = "degraded"
+		}
 	}
 	s.statMu.Unlock()
 	status := http.StatusOK

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"sync"
@@ -40,7 +41,40 @@ type LoadConfig struct {
 	// MaxRetries bounds retries per op; past it the op counts as Failed.
 	MaxRetries int
 	// Client overrides the HTTP client (tests inject the httptest one).
+	// Nil gets NewLoadClient sized to the run's total worker count, so
+	// benchmarks measure the server, not TCP connection setup.
 	Client *http.Client
+}
+
+// LoadTransport returns an http.Transport tuned for a closed-loop run
+// with the given total worker concurrency. The default transport caps
+// idle connections per host at 2, so any generator with more than two
+// workers churns through TCP dials — handshake latency lands in every
+// sample and the benchmark measures the client's socket setup instead
+// of the server. Sizing the idle pool to the concurrency (with
+// headroom for retry bursts) means every connection dialed during
+// warmup is kept and reused: zero extra dials after warmup, which
+// TestLoadReusesConnections pins.
+func LoadTransport(concurrency int) *http.Transport {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   30 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:        2 * concurrency,
+		MaxIdleConnsPerHost: 2 * concurrency,
+		IdleConnTimeout:     90 * time.Second,
+	}
+}
+
+// NewLoadClient wraps LoadTransport in an http.Client — the client
+// Load builds for itself when LoadConfig.Client is nil.
+func NewLoadClient(concurrency int) *http.Client {
+	return &http.Client{Transport: LoadTransport(concurrency)}
 }
 
 // LoadTenant is one target tenant.
@@ -96,9 +130,6 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.MaxRetries < 1 {
 		c.MaxRetries = 8
 	}
-	if c.Client == nil {
-		c.Client = http.DefaultClient
-	}
 	return c
 }
 
@@ -120,6 +151,11 @@ func Load(cfg LoadConfig) (LoadResult, error) {
 		if t.Window == 0 || t.Requests < 0 {
 			return LoadResult{}, fmt.Errorf("server: load tenant %q needs a window and a request budget", t.Name)
 		}
+	}
+	if cfg.Client == nil {
+		// One closed-loop worker per tenant per Workers slot: size the
+		// connection pool to the whole fleet.
+		cfg.Client = NewLoadClient(cfg.Workers * len(cfg.Tenants))
 	}
 	agg := &loadAgg{seen: make(map[string]map[uint64]struct{})}
 	agg.res.MaxSeq = make(map[string]uint64)

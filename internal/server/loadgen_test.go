@@ -2,7 +2,10 @@ package server
 
 import (
 	"context"
+	"net"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -107,6 +110,58 @@ func TestLoadValidation(t *testing.T) {
 		Tenants: []LoadTenant{{Name: "a", Requests: 10, Window: 0}},
 	}); err == nil {
 		t.Fatal("zero window accepted")
+	}
+}
+
+// TestLoadReusesConnections pins the client-bottleneck fix: with
+// LoadTransport's idle pool sized to the worker fleet, every TCP
+// connection dialed during a warmup run is kept alive and reused — a
+// second, larger run dials zero new connections. (The stock
+// http.DefaultClient caps idle conns per host at 2, so >2 workers
+// churn dials and the generator measures its own handshakes.)
+func TestLoadReusesConnections(t *testing.T) {
+	_, hs := newTestServer(t, Config{System: core.FlexLevel, PE: 5000, Seed: 7})
+	const workers = 8
+	tenants := []LoadTenant{
+		{Name: "alpha", Requests: workers * 4, Window: 1024},
+		{Name: "beta", Requests: workers * 4, Window: 1024},
+	}
+	tr := LoadTransport(workers * len(tenants))
+	var dials int64
+	inner := tr.DialContext
+	tr.DialContext = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		atomic.AddInt64(&dials, 1)
+		return inner(ctx, network, addr)
+	}
+	client := &http.Client{Transport: tr}
+	run := func(scale int) {
+		ts := make([]LoadTenant, len(tenants))
+		copy(ts, tenants)
+		for i := range ts {
+			ts[i].Requests *= scale
+		}
+		res, err := Load(LoadConfig{
+			BaseURL: hs.URL, Tenants: ts, Workers: workers,
+			ReadRatio: 0.7, Seed: 5, Client: client,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed > 0 || res.BadStatus > 0 {
+			t.Fatalf("run failed: %+v", res)
+		}
+	}
+	run(1) // warmup: every worker dials at most once
+	warm := atomic.LoadInt64(&dials)
+	if warm == 0 {
+		t.Fatal("warmup run dialed nothing")
+	}
+	if warm > int64(workers*len(tenants)) {
+		t.Fatalf("warmup dialed %d conns for %d workers: pool not holding", warm, workers*len(tenants))
+	}
+	run(4) // 4x the traffic, same concurrency: all conns come from the pool
+	if extra := atomic.LoadInt64(&dials) - warm; extra != 0 {
+		t.Fatalf("%d extra dials after warmup: connections not reused", extra)
 	}
 }
 

@@ -1,9 +1,21 @@
 // Observability: the bounded latency rings behind /metrics and the
 // JSON snapshot they produce. Percentiles here describe what clients
 // experienced at this server (simulated response time, queue wait
-// included) over the last RingSize admitted ops — a sliding window, so
-// a long-running daemon reports current behaviour, not its lifetime
-// average. Shed and deadline-exceeded requests never enter a ring.
+// included) over the last RingSize admitted ops per shard — a sliding
+// window, so a long-running daemon reports current behaviour, not its
+// lifetime average. Shed and deadline-exceeded requests never enter a
+// ring.
+//
+// With Shards > 1 every per-shard artifact merges deterministically:
+// percentiles are computed over the sorted multiset union of the
+// per-shard rings (order-independent, so concurrent engines cannot
+// make two snapshots of the same state disagree), device telemetry
+// merges through core.MergeMetrics (counters sum, means weight by
+// volume, percentile tails take the worst shard — the conservative
+// choice for SLO reporting), and aggregate IOPS is the sum of each
+// shard's admitted rate over its own simulated clock. With one shard
+// every merge degenerates to the legacy single-engine artifact,
+// byte for byte.
 package server
 
 import (
@@ -36,13 +48,22 @@ func (r *latencyRing) add(x float64) {
 	}
 }
 
-// percentiles returns p50/p95/p99 and the mean over the window.
-func (r *latencyRing) percentiles() (p50, p95, p99, mean float64) {
-	if len(r.xs) == 0 {
+// percentilesOf returns p50/p95/p99 and the mean over the union of the
+// given rings' windows. The union is sorted, so the result depends only
+// on the multiset of observations, never on shard enumeration order —
+// the determinism argument for merged metrics.
+func percentilesOf(rings []*latencyRing) (p50, p95, p99, mean float64) {
+	n := 0
+	for _, r := range rings {
+		n += len(r.xs)
+	}
+	if n == 0 {
 		return 0, 0, 0, 0
 	}
-	tmp := make([]float64, len(r.xs))
-	copy(tmp, r.xs)
+	tmp := make([]float64, 0, n)
+	for _, r := range rings {
+		tmp = append(tmp, r.xs...)
+	}
 	sort.Float64s(tmp)
 	at := func(p float64) float64 {
 		i := int(p / 100 * float64(len(tmp)-1))
@@ -53,6 +74,11 @@ func (r *latencyRing) percentiles() (p50, p95, p99, mean float64) {
 		sum += x
 	}
 	return at(50), at(95), at(99), sum / float64(len(tmp))
+}
+
+// percentiles returns p50/p95/p99 and the mean over one ring's window.
+func (r *latencyRing) percentiles() (p50, p95, p99, mean float64) {
+	return percentilesOf([]*latencyRing{r})
 }
 
 // tenantStats is one tenant's shared counters.
@@ -71,6 +97,8 @@ type tenantStats struct {
 }
 
 // serverStats is every shared observability field, guarded by statMu.
+// Per-shard slices are indexed by shard id; each engine writes only
+// its own slot (plus the shared counters), handlers read them all.
 type serverStats struct {
 	admitted       int64
 	reads          int64
@@ -81,19 +109,31 @@ type serverStats struct {
 	readOnly       int64
 	powerLoss      int64
 	internalErrors int64
-	crashed        bool // device is down awaiting restart
-	simTime        time.Duration
-	ring           *latencyRing
 	tenants        []*tenantStats
 
-	device      core.Metrics
-	haveDevice  bool
+	// Per-shard state: latency rings, sim clocks, admitted counts,
+	// cached device telemetry and crash flags.
+	rings         []*latencyRing
+	shardSimTime  []time.Duration
+	shardAdmitted []int64
+	shardDevice   []core.Metrics
+	haveDevice    []bool
+	shardCrashed  []bool // shard's device is down awaiting restart
+
 	snapshotErr string
 	final       *Snapshot
 }
 
 func (st *serverStats) init(cfg Config, names []string) {
-	st.ring = newLatencyRing(cfg.RingSize)
+	st.rings = make([]*latencyRing, cfg.Shards)
+	for i := range st.rings {
+		st.rings[i] = newLatencyRing(cfg.RingSize)
+	}
+	st.shardSimTime = make([]time.Duration, cfg.Shards)
+	st.shardAdmitted = make([]int64, cfg.Shards)
+	st.shardDevice = make([]core.Metrics, cfg.Shards)
+	st.haveDevice = make([]bool, cfg.Shards)
+	st.shardCrashed = make([]bool, cfg.Shards)
 	st.tenants = make([]*tenantStats, len(names))
 	for i, name := range names {
 		st.tenants[i] = &tenantStats{name: name, ring: newLatencyRing(cfg.RingSize)}
@@ -136,7 +176,10 @@ type Snapshot struct {
 	PowerLossErrors  int64 `json:"power_loss_errors"`
 	InternalErrors   int64 `json:"internal_errors"`
 
-	// IOPS is admitted requests over the simulated makespan.
+	// IOPS is the aggregate admitted rate: each shard's admitted count
+	// over its own simulated makespan, summed — N busy shards sustain
+	// N times one engine's rate, which is the modeled capacity the
+	// sharded device actually has.
 	IOPS float64 `json:"iops"`
 	P50  float64 `json:"p50_s"`
 	P95  float64 `json:"p95_s"`
@@ -147,8 +190,16 @@ type Snapshot struct {
 
 	// Device is the runner's full telemetry — cache and calibration
 	// activity, wear, crash-recovery counters — refreshed every
-	// MetricsEvery ops.
+	// MetricsEvery ops per shard, merged across shards via
+	// core.MergeMetrics when Shards > 1.
 	Device core.Metrics `json:"device"`
+
+	// Shards and the per-shard views appear only on a sharded server
+	// (Shards > 1), so the single-engine snapshot stays byte-identical
+	// to the legacy artifact.
+	Shards              int            `json:"shards,omitempty"`
+	ShardSimTimeSeconds []float64      `json:"shard_sim_time_seconds,omitempty"`
+	ShardDevices        []core.Metrics `json:"shard_devices,omitempty"`
 
 	SnapshotError string `json:"snapshot_error,omitempty"`
 }
@@ -158,7 +209,7 @@ func (s Snapshot) marshal() ([]byte, error) {
 }
 
 // snapshotLocked composes the current snapshot. Callers must NOT hold
-// statMu; the engine or any handler may call it.
+// statMu; any engine or handler may call it.
 func (s *Server) snapshotLocked() Snapshot {
 	draining := s.Draining()
 	s.statMu.Lock()
@@ -166,7 +217,6 @@ func (s *Server) snapshotLocked() Snapshot {
 	st := &s.stats
 	snap := Snapshot{
 		UptimeSeconds:    time.Since(s.started).Seconds(),
-		SimTimeSeconds:   st.simTime.Seconds(),
 		Draining:         draining,
 		Admitted:         st.admitted,
 		Reads:            st.reads,
@@ -177,17 +227,38 @@ func (s *Server) snapshotLocked() Snapshot {
 		ReadOnlyRejects:  st.readOnly,
 		PowerLossErrors:  st.powerLoss,
 		InternalErrors:   st.internalErrors,
-		Crashed:          st.crashed,
 		SnapshotError:    st.snapshotErr,
 	}
-	if st.haveDevice {
-		snap.Device = st.device
-		snap.Degraded = st.device.Degraded
+	for k := range st.shardCrashed {
+		if st.shardCrashed[k] {
+			snap.Crashed = true
+		}
+		if st.shardSimTime[k] > 0 {
+			snap.IOPS += float64(st.shardAdmitted[k]) / st.shardSimTime[k].Seconds()
+		}
+		if sec := st.shardSimTime[k].Seconds(); sec > snap.SimTimeSeconds {
+			snap.SimTimeSeconds = sec
+		}
 	}
-	if st.simTime > 0 {
-		snap.IOPS = float64(st.admitted) / st.simTime.Seconds()
+	live := make([]core.Metrics, 0, len(st.shardDevice))
+	for k, have := range st.haveDevice {
+		if have {
+			live = append(live, st.shardDevice[k])
+		}
 	}
-	snap.P50, snap.P95, snap.P99, snap.Mean = st.ring.percentiles()
+	if len(live) > 0 {
+		snap.Device = core.MergeMetrics(live)
+		snap.Degraded = snap.Device.Degraded
+	}
+	if n := len(st.rings); n > 1 {
+		snap.Shards = n
+		snap.ShardSimTimeSeconds = make([]float64, n)
+		for k := range st.shardSimTime {
+			snap.ShardSimTimeSeconds[k] = st.shardSimTime[k].Seconds()
+		}
+		snap.ShardDevices = append([]core.Metrics(nil), st.shardDevice...)
+	}
+	snap.P50, snap.P95, snap.P99, snap.Mean = percentilesOf(st.rings)
 	snap.Tenants = make([]TenantSnapshot, len(st.tenants))
 	for i, ts := range st.tenants {
 		t := TenantSnapshot{

@@ -5,27 +5,39 @@
 // replay.
 //
 // The simulator is single-threaded by design (ssd.Device and
-// core.Runner share no locks), so the server serializes every device
-// touch through one engine goroutine fed by a bounded op channel.
+// core.Runner share no locks), so every device touch serializes
+// through an engine goroutine fed by a bounded op channel. With
+// Config.Shards > 1 the service runs N such engines side by side —
+// the logical space partitions into contiguous shard ranges, each
+// with its own ftl/ssd.Device, sim clock and journal, and a router
+// pins every tenant to the shard owning its window base (shard.go) —
+// which is how the serve path scales across cores the way real SSD
+// firmware scales across channels and dies. Shards = 1 (the default)
+// is the legacy single-engine path, bit for bit.
+//
 // Handlers admit under a mutex — draining flag, per-tenant admission
-// queue bound — and then block only on their own reply channel. The
-// engine owns the simulated clock: each admitted op advances it by
-// Config.SimGap (the modeled interarrival gap), computes the op's
-// submit time under the tenant's queue-depth window exactly as the
-// batched replay engine (core.StepBatch) would, and rejects — token
-// bucket empty, projected queue wait past the SLO budget, deadline
-// already blown — before the device is touched. Rejections are counted
-// (core.Runner.CountShed / CountDeadlineExceeded) and never produce a
-// latency sample, so the served percentiles describe admitted traffic
-// only.
+// queue bound — and then block only on their own reply channel. Each
+// engine owns its shard's simulated clock: each admitted op advances
+// it by Config.SimGap (the modeled interarrival gap), computes the
+// op's submit time under the tenant's queue-depth window exactly as
+// the batched replay engine (core.StepBatch) would, and rejects —
+// token bucket empty, projected queue wait past the SLO budget,
+// deadline already blown — before the device is touched. Rejections
+// are counted (core.Runner.CountShed / CountDeadlineExceeded) and
+// never produce a latency sample, so the served percentiles describe
+// admitted traffic only.
 //
 // Robustness: a power loss (injected, or scripted via CrashAtOp) kills
 // the in-flight op with a retryable error — it is never acknowledged —
-// and, with AutoRestart, the engine brings the device back through
-// ftl.Recover before the next op. A degraded device (spares exhausted)
+// and, with AutoRestart, the owning engine brings its device back
+// through ftl.Recover before its next op; a crash on one shard never
+// touches another shard's acked writes, and per-tenant ack sequences
+// live in server memory above device volatility, so they stay dense
+// across any single-shard crash. A degraded device (spares exhausted)
 // fails writes with a typed read-only error while reads keep flowing.
-// Shutdown stops admission, lets every queued op finish, writes a final
-// metrics snapshot and only then returns — the SIGTERM drain contract.
+// Shutdown stops admission, lets every queued op finish on every
+// shard, writes a final merged metrics snapshot and only then returns
+// — the SIGTERM drain contract, now per-shard.
 package server
 
 import (
@@ -35,7 +47,6 @@ import (
 	"sync"
 	"time"
 
-	"flexlevel/internal/accesseval"
 	"flexlevel/internal/core"
 	"flexlevel/internal/fault"
 	"flexlevel/internal/ftl"
@@ -62,6 +73,12 @@ type Config struct {
 	PE       int
 	Channels int
 	Seed     int64
+
+	// Shards is the engine count: the logical space splits into this
+	// many contiguous sub-devices, each behind its own engine
+	// goroutine, sim clock and journal (shard.go). 0 or 1 selects the
+	// legacy single-engine path unchanged.
+	Shards int
 
 	// Tenants defines the namespaces: each tenant addresses logical
 	// pages [0, WorkingSet) of its own window (absolute LPN = Base +
@@ -90,10 +107,10 @@ type Config struct {
 	// wait exceeds its deadline is cancelled before submission.
 	Deadline time.Duration
 	// SimGap is the simulated interarrival gap charged per admitted op
-	// — the modeled load intensity of the arriving stream.
+	// — the modeled load intensity of the arriving stream (per shard).
 	SimGap time.Duration
 
-	// SampleCap bounds the device's read response-time reservoir
+	// SampleCap bounds each device's read response-time reservoir
 	// (ssd.Config.SampleCap); RingSize bounds each latency ring the
 	// server keeps for /metrics percentiles.
 	SampleCap int
@@ -104,16 +121,22 @@ type Config struct {
 	MaxPages int
 
 	// Faults forwards a deterministic fault-injection config to the
-	// device (Weibull wear-out curves, transient read faults, ...).
+	// devices (Weibull wear-out curves, transient read faults, ...);
+	// shards beyond the first decorrelate the draws by deriving their
+	// fault seeds, the same way their device seeds derive.
 	Faults fault.Config
 	// FTL, when non-nil, overrides the device geometry — small devices
 	// in tests, spare-block pools for fault runs. Journal settings are
 	// still forced on when the crash options demand them.
 	FTL *ftl.Config
 	// CrashAtOp, when positive, scripts a sudden power loss immediately
-	// before the Nth admitted op — the chaos-test hook. The op sees a
-	// retryable power-loss error (it is never acknowledged).
+	// before the Nth admitted op on CrashShard — the chaos-test hook.
+	// The op sees a retryable power-loss error (it is never
+	// acknowledged); other shards keep serving.
 	CrashAtOp int64
+	// CrashShard selects which engine CrashAtOp counts ops on
+	// (default 0 — with one shard, exactly the legacy semantics).
+	CrashShard int
 	// AutoRestart recovers a crashed device in place via ftl.Recover
 	// (requires the journal, which the server enables whenever
 	// AutoRestart or CrashAtOp is set) and resumes serving.
@@ -126,6 +149,9 @@ type Config struct {
 
 // withDefaults fills unset knobs.
 func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
 	if c.QueueDepth < 1 {
 		c.QueueDepth = DefaultQueueDepth
 	}
@@ -163,7 +189,7 @@ type op struct {
 	lpn      uint64 // tenant-relative page
 	pages    int
 	deadline time.Duration // sim-time budget; 0 = Config.Deadline
-	sentinel bool          // drain marker: flush the final snapshot and exit
+	sentinel bool          // drain marker: flush shard telemetry and exit
 	reply    chan opResult
 }
 
@@ -189,11 +215,14 @@ const (
 	CodeInternal   = "internal"          // 500
 )
 
-// tenantState is one tenant's engine-owned admission state.
+// tenantState is one tenant's engine-owned admission state. Each
+// tenant belongs to exactly one shard (router affinity), so exactly
+// one engine goroutine ever touches it — no locks, as in the
+// single-engine original.
 type tenantState struct {
 	spec trace.TenantSpec
 
-	// Token bucket, refilled on the simulated clock.
+	// Token bucket, refilled on the owning shard's simulated clock.
 	tokens     float64
 	lastRefill time.Duration
 
@@ -213,7 +242,8 @@ type simCompletion struct {
 // cmd/flexlevel's HTTP listener), stop with Shutdown.
 type Server struct {
 	cfg     Config
-	runner  *core.Runner
+	router  *shardRouter
+	shards  []*engineShard
 	tenants []*tenantState
 	index   map[string]int // tenant name -> index
 
@@ -221,16 +251,11 @@ type Server struct {
 	mu       sync.Mutex
 	draining bool
 	queued   []int // per-tenant admitted-but-unreplied counts
-	ops      chan *op
 
-	engineDone chan struct{}
-	drainOnce  sync.Once
+	drainDone chan struct{}
+	drainOnce sync.Once
 
-	// Engine-owned simulation state (no locks: engine goroutine only).
-	simNow  time.Duration
-	opCount int64
-
-	// Observability state, shared engine/handlers under statMu.
+	// Observability state, shared engines/handlers under statMu.
 	statMu  sync.Mutex
 	stats   serverStats
 	started time.Time
@@ -239,34 +264,22 @@ type Server struct {
 	writeFile func(path string, data []byte) error
 }
 
-// New builds the server, preconditions the device (every tenant window
-// preloaded) and starts the engine goroutine.
+// New builds the server, preconditions every shard's device (each
+// tenant window preloaded on its owning shard) and starts the engine
+// goroutines.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	opts := core.DefaultOptions(cfg.System, cfg.PE)
-	if cfg.Channels > 0 {
-		opts.SSD.Channels = cfg.Channels
+	if cfg.CrashShard < 0 || cfg.CrashShard >= cfg.Shards {
+		return nil, fmt.Errorf("server: crash shard %d outside [0,%d)", cfg.CrashShard, cfg.Shards)
 	}
-	if cfg.Seed != 0 {
-		opts.SSD.Seed = cfg.Seed
-	}
-	opts.SSD.SampleCap = cfg.SampleCap
-	opts.SSD.Faults = cfg.Faults
+	logical := core.DefaultOptions(cfg.System, cfg.PE).SSD.FTL.LogicalPages
 	if cfg.FTL != nil {
-		opts.SSD.FTL = *cfg.FTL
-		// Resize the FlexLevel controller to the overridden space.
-		opts.AccessEval = accesseval.DefaultParams(opts.SSD.FTL.LogicalPages)
-	}
-	if cfg.AutoRestart || cfg.CrashAtOp > 0 {
-		// Crash recovery needs the durable journal; size it like the
-		// crash-consistency experiments.
-		opts.SSD.FTL.Journal = ftl.JournalConfig{Enabled: true, FlushRecords: 64, CheckpointEveryFlushes: 8}
+		logical = cfg.FTL.LogicalPages
 	}
 	if len(cfg.Tenants) == 0 {
-		cfg.Tenants = trace.DefaultTenants(opts.SSD.FTL.LogicalPages)
+		cfg.Tenants = trace.DefaultTenants(logical)
 	}
 	index := make(map[string]int, len(cfg.Tenants))
-	var maxEnd uint64
 	for i, t := range cfg.Tenants {
 		if err := t.Validate(); err != nil {
 			return nil, fmt.Errorf("server: tenant %d: %w", i, err)
@@ -275,40 +288,45 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: duplicate tenant %q", t.Name)
 		}
 		index[t.Name] = i
-		if end := t.Base + t.WorkingSet; end > maxEnd {
-			maxEnd = end
-		}
 	}
 
-	r, err := core.NewRunner(opts)
-	if err != nil {
-		return nil, err
-	}
-	if err := r.EnableScheduler(); err != nil {
-		return nil, err
-	}
-	if err := r.Prepare(nil, maxEnd); err != nil {
-		return nil, err
+	router := newShardRouter(cfg.Shards, logical, cfg.Tenants)
+	owned := make([][]int, cfg.Shards)
+	for i := range cfg.Tenants {
+		k := router.tenantOf(i)
+		owned[k] = append(owned[k], i)
 	}
 
 	s := &Server{
-		cfg:        cfg,
-		runner:     r,
-		index:      index,
-		queued:     make([]int, len(cfg.Tenants)),
-		engineDone: make(chan struct{}),
-		started:    time.Now(),
-		writeFile:  defaultWriteFile,
+		cfg:       cfg,
+		router:    router,
+		index:     index,
+		queued:    make([]int, len(cfg.Tenants)),
+		drainDone: make(chan struct{}),
+		started:   time.Now(),
+		writeFile: defaultWriteFile,
 	}
 	s.tenants = make([]*tenantState, len(cfg.Tenants))
 	for i, t := range cfg.Tenants {
 		s.tenants[i] = &tenantState{spec: t, tokens: cfg.Burst}
 	}
 	s.stats.init(cfg, tenantNames(cfg.Tenants))
-	// The channel holds every admissible op plus the drain sentinel, so
-	// a send under mu never blocks.
-	s.ops = make(chan *op, len(cfg.Tenants)*cfg.MaxQueue+1)
-	go s.engine()
+
+	s.shards = make([]*engineShard, cfg.Shards)
+	for k := 0; k < cfg.Shards; k++ {
+		e, err := newEngineShard(k, cfg, owned[k])
+		if err != nil {
+			// No engine goroutine has started yet (they launch below,
+			// only after every shard built), so there is nothing to
+			// drain — earlier shards' devices are just garbage.
+			return nil, fmt.Errorf("server: shard %d: %w", k, err)
+		}
+		e.srv = s
+		s.shards[k] = e
+	}
+	for _, e := range s.shards {
+		go e.engine()
+	}
 	return s, nil
 }
 
@@ -329,6 +347,15 @@ func (s *Server) Tenant(name string) (int, bool) {
 // Tenants lists the tenant specs in index order.
 func (s *Server) Tenants() []trace.TenantSpec { return s.cfg.Tenants }
 
+// Shards reports the engine count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// ShardOfTenant reports which engine owns tenant i's window.
+func (s *Server) ShardOfTenant(i int) int { return s.router.tenantOf(i) }
+
+// ShardOfLPN reports which engine owns an absolute logical page.
+func (s *Server) ShardOfLPN(lpn uint64) int { return s.router.lpnShard(lpn) }
+
 // errQueueFull and errDraining are the handler-side admission
 // rejections.
 var (
@@ -336,11 +363,12 @@ var (
 	errDraining  = errors.New("server: draining")
 )
 
-// admit enqueues o for the engine, or rejects it at the door. The
-// channel send happens under mu with guaranteed capacity, so admission
-// order equals engine order (FIFO) and the drain sentinel provably
-// follows every admitted op.
+// admit enqueues o for its tenant's engine, or rejects it at the door.
+// The channel send happens under mu with guaranteed capacity, so
+// admission order equals engine order (FIFO per shard) and the drain
+// sentinel provably follows every admitted op on its shard.
 func (s *Server) admit(o *op) error {
+	shard := s.shards[s.router.tenantOf(o.tenant)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -350,7 +378,7 @@ func (s *Server) admit(o *op) error {
 		return errQueueFull
 	}
 	s.queued[o.tenant]++
-	s.ops <- o
+	shard.ops <- o
 	return nil
 }
 
@@ -381,228 +409,26 @@ func (s *Server) do(ctx context.Context, o *op) opResult {
 	}
 }
 
-// engine is the single goroutine that owns the device and the simulated
-// clock.
-func (s *Server) engine() {
-	defer close(s.engineDone)
-	for o := range s.ops {
-		if o.sentinel {
-			s.finalize()
-			o.reply <- opResult{status: 200}
-			return
-		}
-		res := s.process(o)
-		// Refresh the cached device telemetry on a fixed op cadence
-		// regardless of outcome — a fully-shedding or degraded server
-		// must still report fresh /metrics and /healthz.
-		if s.opCount%int64(s.cfg.MetricsEvery) == 0 {
-			s.refreshDeviceMetrics()
-		}
-		s.mu.Lock()
-		s.queued[o.tenant]--
-		s.mu.Unlock()
-		o.reply <- res
-	}
-}
-
-// process runs one op through admission control and, if it survives,
-// the device. Engine goroutine only.
-func (s *Server) process(o *op) opResult {
-	s.opCount++
-	if s.cfg.CrashAtOp > 0 && s.opCount == s.cfg.CrashAtOp && !s.runner.Device().Crashed() {
-		// Scripted sudden power loss: volatile state is gone; this op —
-		// and every queued op until recovery — dies unacknowledged.
-		s.runner.Device().Crash()
-	}
-
-	arrival := s.simNow
-	s.simNow += s.cfg.SimGap
-	t := s.tenants[o.tenant]
-
-	// Token bucket on the simulated clock.
-	if s.cfg.Rate > 0 {
-		t.tokens += s.cfg.Rate * (arrival - t.lastRefill).Seconds()
-		if t.tokens > s.cfg.Burst {
-			t.tokens = s.cfg.Burst
-		}
-		t.lastRefill = arrival
-		if t.tokens < 1 {
-			wait := time.Duration((1 - t.tokens) / s.cfg.Rate * float64(time.Second))
-			s.countShed(o.tenant)
-			return opResult{
-				status: 429, code: CodeShed,
-				message:    "tenant rate limit exceeded",
-				retryAfter: wait,
-			}
-		}
-		t.tokens--
-	}
-
-	// The tenant's queue-depth window, with StepBatch's discipline:
-	// when full, the op waits for the earliest outstanding completion.
-	for len(t.outstanding) > 0 && t.outstanding[0].at <= arrival {
-		popSimCompletion(&t.outstanding)
-	}
-	submit := arrival
-	windowFull := len(t.outstanding) >= s.cfg.QueueDepth
-	if windowFull && t.outstanding[0].at > submit {
-		submit = t.outstanding[0].at
-	}
-	wait := submit - arrival
-
-	// SLO shedding: the projected wait is known before the device is
-	// touched, so overload is rejected deterministically and admitted
-	// ops keep their latency budget. Sheds free no window slot — the
-	// backlog drains at device speed — but every shed skips a SimGap of
-	// offered load, so the rejection clears itself.
-	if s.cfg.SLOWait > 0 && wait > s.cfg.SLOWait {
-		s.countShed(o.tenant)
-		return opResult{
-			status: 429, code: CodeShed,
-			message:    fmt.Sprintf("projected queue wait %v exceeds SLO budget %v", wait, s.cfg.SLOWait),
-			retryAfter: wait - s.cfg.SLOWait,
-		}
-	}
-
-	// Deadline: cancel queued work that cannot start in time.
-	deadline := o.deadline
-	if deadline <= 0 {
-		deadline = s.cfg.Deadline
-	}
-	if deadline > 0 && wait > deadline {
-		s.countDeadline(o.tenant)
-		return opResult{
-			status: 504, code: CodeDeadline,
-			message: fmt.Sprintf("queue wait %v exceeds deadline %v", wait, deadline),
-		}
-	}
-
-	// Degraded device: reads keep flowing, writes fail typed (the
-	// device itself silently rejects degraded writes, so the contract
-	// lives here).
-	if o.write && s.runner.Device().Degraded() {
-		s.statMu.Lock()
-		s.stats.readOnly++
-		s.stats.tenants[o.tenant].readOnly++
-		s.statMu.Unlock()
-		return opResult{
-			status: 503, code: CodeReadOnly,
-			message: "device degraded: read-only mode",
-		}
-	}
-
-	req := trace.Request{
-		Arrival: submit,
-		Op:      trace.Read,
-		LPN:     t.spec.Base + o.lpn,
-		Pages:   o.pages,
-		Tenant:  o.tenant,
-	}
-	if o.write {
-		req.Op = trace.Write
-	}
-	done, err := s.runner.StepAt(req, submit)
-	if err != nil {
-		if errors.Is(err, ftl.ErrPowerLoss) {
-			return s.handlePowerLoss(o)
-		}
-		s.statMu.Lock()
-		s.stats.internalErrors++
-		s.statMu.Unlock()
-		return opResult{status: 500, code: CodeInternal, message: err.Error()}
-	}
-	if windowFull {
-		popSimCompletion(&t.outstanding)
-	}
-	t.seq++
-	pushSimCompletion(&t.outstanding, simCompletion{at: done, seq: t.seq})
-
-	latency := done - arrival
-	res := opResult{status: 200, latency: latency}
-	s.statMu.Lock()
-	ts := s.stats.tenants[o.tenant]
-	ts.admitted++
-	s.stats.admitted++
-	s.stats.ring.add(latency.Seconds())
-	ts.ring.add(latency.Seconds())
-	if o.write {
-		ts.ackSeq++
-		res.seq = ts.ackSeq
-		ts.writes++
-		s.stats.writes++
-	} else {
-		ts.reads++
-		s.stats.reads++
-	}
-	s.stats.simTime = s.simNow
-	s.statMu.Unlock()
-	return res
-}
-
-// handlePowerLoss settles an op that died in a crash: the op is never
-// acknowledged, and with AutoRestart the device is recovered in place
-// before the next op runs.
-func (s *Server) handlePowerLoss(o *op) opResult {
-	recovered := false
-	if s.cfg.AutoRestart {
-		if _, err := s.runner.Device().Restart(s.simNow); err == nil {
-			recovered = true
-			// Recovery charged every channel; in-sim time moved on.
-			if now := s.runner.Device().Now(); now > s.simNow {
-				s.simNow = now
-			}
-			// The tenants' outstanding windows died with the queues.
-			for _, t := range s.tenants {
-				t.outstanding = t.outstanding[:0]
-			}
-		}
-	}
-	s.statMu.Lock()
-	s.stats.powerLoss++
-	s.stats.tenants[o.tenant].powerLoss++
-	s.stats.crashed = !recovered
-	s.statMu.Unlock()
-	s.refreshDeviceMetrics()
-	msg := "power loss: request not acknowledged"
-	if recovered {
-		msg += "; device recovered, retry"
-	}
-	return opResult{
-		status: 503, code: CodePowerLoss, message: msg,
-		retryAfter: s.cfg.SimGap * 16,
-	}
-}
-
-func (s *Server) countShed(tenant int) {
-	s.runner.CountShed(tenant)
+func (s *Server) countShed(e *engineShard, tenant int) {
+	e.runner.CountShed(tenant)
 	s.statMu.Lock()
 	s.stats.shed++
 	s.stats.tenants[tenant].shed++
 	s.statMu.Unlock()
 }
 
-func (s *Server) countDeadline(tenant int) {
-	s.runner.CountDeadlineExceeded(tenant)
+func (s *Server) countDeadline(e *engineShard, tenant int) {
+	e.runner.CountDeadlineExceeded(tenant)
 	s.statMu.Lock()
 	s.stats.deadline++
 	s.stats.tenants[tenant].deadline++
 	s.statMu.Unlock()
 }
 
-// refreshDeviceMetrics caches the runner's full telemetry (device,
-// cache, calibration, crash-recovery counters) for /metrics. Engine
-// goroutine only: Finish sorts the shared read sample.
-func (s *Server) refreshDeviceMetrics() {
-	m := s.runner.Finish("serve")
-	s.statMu.Lock()
-	s.stats.device = m
-	s.stats.haveDevice = true
-	s.statMu.Unlock()
-}
-
-// finalize flushes the final snapshot at the end of a drain.
+// finalize flushes the final merged snapshot at the end of a drain.
+// Runs once, after every shard's engine has exited and refreshed its
+// telemetry.
 func (s *Server) finalize() {
-	s.refreshDeviceMetrics()
 	snap := s.snapshotLocked()
 	if s.cfg.SnapshotPath != "" {
 		if data, err := snap.marshal(); err == nil {
@@ -612,6 +438,7 @@ func (s *Server) finalize() {
 				s.statMu.Lock()
 				s.stats.snapshotErr = werr.Error()
 				s.statMu.Unlock()
+				snap.SnapshotError = werr.Error()
 			}
 		}
 	}
@@ -621,21 +448,32 @@ func (s *Server) finalize() {
 }
 
 // Shutdown drains the server: admission stops immediately (handlers
-// return 503 draining), every already-admitted op completes, the final
-// snapshot is written, and the engine exits. Safe to call more than
-// once; ctx bounds the wait.
+// return 503 draining), every already-admitted op completes on its
+// shard, the final merged snapshot is written, and every engine exits.
+// Safe to call more than once; ctx bounds the wait.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.drainOnce.Do(func() {
-		sentinel := &op{sentinel: true, reply: make(chan opResult, 1)}
+		sentinels := make([]*op, len(s.shards))
 		s.mu.Lock()
 		s.draining = true
-		// FIFO: the sentinel follows every op admitted before the flag
-		// flipped, so the engine sees it only after finishing them.
-		s.ops <- sentinel
+		// FIFO per shard: each sentinel follows every op admitted to
+		// that shard before the flag flipped, so each engine sees it
+		// only after finishing them.
+		for i, e := range s.shards {
+			sentinels[i] = &op{sentinel: true, reply: make(chan opResult, 1)}
+			e.ops <- sentinels[i]
+		}
 		s.mu.Unlock()
+		go func() {
+			for _, e := range s.shards {
+				<-e.engineDone
+			}
+			s.finalize()
+			close(s.drainDone)
+		}()
 	})
 	select {
-	case <-s.engineDone:
+	case <-s.drainDone:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -649,9 +487,14 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
-// Device exposes the simulator for audits (chaos tests verifying acked
-// writes survived recovery). Only safe once Shutdown has returned.
-func (s *Server) Device() *ssd.Device { return s.runner.Device() }
+// Device exposes shard 0's simulator for audits (chaos tests verifying
+// acked writes survived recovery). Only safe once Shutdown has
+// returned.
+func (s *Server) Device() *ssd.Device { return s.shards[0].runner.Device() }
+
+// ShardDevice exposes shard k's simulator. Only safe once Shutdown has
+// returned.
+func (s *Server) ShardDevice(k int) *ssd.Device { return s.shards[k].runner.Device() }
 
 // pushSimCompletion / popSimCompletion maintain the per-tenant
 // completion min-heap, ordered like core.StepBatch's (time, then
